@@ -1,0 +1,90 @@
+// Experiment R-F11 — communication-architecture microbenchmark.
+//
+// Pure substrate experiment: per-iteration time of the PS runtime (with 4
+// and 16 servers) vs ring all-reduce as the worker count grows, at a small
+// and a large model size. The shapes to reproduce: all-reduce is flat-ish
+// in W (bandwidth-optimal) and wins for big models once W is moderate; PS
+// with few servers collapses as server NICs saturate; adding servers moves
+// the crossover.
+#include "bench_common.h"
+#include "sim/allreduce_runtime.h"
+#include "sim/ps_runtime.h"
+#include "util/arg_parse.h"
+
+using namespace autodml;
+
+namespace {
+
+sim::Cluster cluster_of(int workers, int servers) {
+  sim::ClusterSpec spec;
+  spec.worker_type = "std8";
+  spec.server_type = "mem8";
+  spec.num_workers = workers;
+  spec.num_servers = servers;
+  spec.heterogeneity_sigma = 0.0;
+  spec.straggler_sigma = 0.03;
+  util::Rng rng(5);
+  return provision(spec, rng);
+}
+
+sim::JobParams job_of(double model_bytes) {
+  sim::JobParams job;
+  job.model_bytes = model_bytes;
+  job.flops_per_sample = 5e7;
+  job.batch_per_worker = 32;
+  return job;
+}
+
+double ps_iteration_seconds(int workers, int servers, double model_bytes) {
+  util::Rng rng(9);
+  sim::PsSimOptions options;
+  options.warmup_iterations = 3;
+  options.measure_iterations = 12;
+  return sim::simulate_ps(cluster_of(workers, servers), job_of(model_bytes),
+                          rng, options)
+      .mean_iteration_seconds;
+}
+
+double allreduce_iteration_seconds(int workers, double model_bytes) {
+  util::Rng rng(9);
+  sim::AllReduceSimOptions options;
+  options.warmup_iterations = 3;
+  options.measure_iterations = 12;
+  return sim::simulate_allreduce(cluster_of(workers, 0), job_of(model_bytes),
+                                 rng, options)
+      .mean_iteration_seconds;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> worker_counts = {2, 4, 8, 16, 32, 64};
+  for (const double model_mb : {40.0, 800.0}) {
+    struct Row {
+      double ps4, ps16, ar;
+    };
+    std::vector<Row> data(worker_counts.size());
+    bench::parallel_tasks(worker_counts.size(), [&](std::size_t i) {
+      const int w = worker_counts[i];
+      data[i].ps4 = ps_iteration_seconds(w, 4, model_mb * 1e6);
+      data[i].ps16 = ps_iteration_seconds(w, 16, model_mb * 1e6);
+      data[i].ar = allreduce_iteration_seconds(w, model_mb * 1e6);
+    });
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+      const double best = std::min({data[i].ps4, data[i].ps16, data[i].ar});
+      const std::string winner = best == data[i].ar
+                                     ? "allreduce"
+                                     : (best == data[i].ps16 ? "ps16" : "ps4");
+      rows.push_back({std::to_string(worker_counts[i]),
+                      util::fmt(data[i].ps4), util::fmt(data[i].ps16),
+                      util::fmt(data[i].ar), winner});
+    }
+    bench::print_table("R-F11  iteration seconds, model=" +
+                           util::fmt(model_mb, 4) + " MB (std8 workers)",
+                       {"workers", "ps(S=4)", "ps(S=16)", "allreduce",
+                        "winner"},
+                       rows);
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Experiment R-T6 — substrate validation.
+//
+// Three checks that the simulated evaluation pipeline behaves like the real
+// thing it substitutes for (DESIGN.md substitution table):
+//  (a) closed-form analytic throughput vs the discrete-event ground truth
+//      across a config sweep: rank correlation and median absolute error —
+//      the DES captures contention/queueing the closed form misses;
+//  (b) the statistical-efficiency staleness law vs a *real* delayed-gradient
+//      logistic-regression trainer: steps-to-target must rise monotonically
+//      with delay in both, with correlated magnitudes;
+//  (c) the critical-batch law vs the same trainer: samples-to-target grows
+//      with batch in both.
+#include <cmath>
+
+#include "bench_common.h"
+#include "ml/micro_trainer.h"
+#include "sim/analytic_model.h"
+#include "util/arg_parse.h"
+
+using namespace autodml;
+
+namespace {
+
+void validate_analytic_vs_des() {
+  std::vector<double> analytic, des;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [w, s, model_mb] :
+       std::vector<std::tuple<int, int, double>>{{2, 1, 40},
+                                                 {4, 2, 40},
+                                                 {8, 2, 40},
+                                                 {8, 8, 400},
+                                                 {16, 4, 400},
+                                                 {16, 16, 400},
+                                                 {32, 8, 120},
+                                                 {32, 16, 800},
+                                                 {64, 8, 120},
+                                                 {64, 16, 40}}) {
+    sim::ClusterSpec spec;
+    spec.worker_type = "std8";
+    spec.server_type = "mem8";
+    spec.num_workers = w;
+    spec.num_servers = s;
+    spec.heterogeneity_sigma = 0.0;
+    spec.straggler_sigma = 0.05;
+    util::Rng rng(7);
+    const sim::Cluster cluster = sim::provision(spec, rng);
+    sim::JobParams job;
+    job.model_bytes = model_mb * 1e6;
+    job.flops_per_sample = 5e7;
+    job.batch_per_worker = 32;
+
+    const double est = sim::analytic_ps(cluster, job).updates_per_second;
+    util::Rng sim_rng(11);
+    sim::PsSimOptions options;
+    options.warmup_iterations = 3;
+    options.measure_iterations = 16;
+    const double truth =
+        sim::simulate_ps(cluster, job, sim_rng, options).updates_per_second;
+    analytic.push_back(est);
+    des.push_back(truth);
+    rows.push_back({std::to_string(w), std::to_string(s),
+                    util::fmt(model_mb, 4), util::fmt(truth), util::fmt(est),
+                    bench::fmt_ratio(est / truth)});
+  }
+  rows.push_back({"spearman", "", "", "", "",
+                  bench::fmt_ratio(util::spearman(analytic, des))});
+  std::vector<double> abs_err;
+  for (std::size_t i = 0; i < des.size(); ++i)
+    abs_err.push_back(std::abs(analytic[i] / des[i] - 1.0));
+  rows.push_back(
+      {"median|err|", "", "", "", "", bench::fmt_ratio(util::median(abs_err))});
+  bench::print_table(
+      "R-T6a  analytic model vs discrete-event simulator (updates/s)",
+      {"workers", "servers", "model-MB", "DES", "analytic", "ratio"}, rows);
+}
+
+void validate_staleness_law() {
+  // Real trainer: mean steps to target vs gradient delay.
+  const std::vector<int> delays = {0, 8, 32, 128, 256};
+  std::vector<double> trainer_steps(delays.size());
+  bench::parallel_tasks(delays.size(), [&](std::size_t i) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      ml::MicroTrainerConfig config;
+      config.seed = seed;
+      config.gradient_delay = delays[i];
+      config.batch_size = 4;
+      config.class_separation = 2.8;
+      config.learning_rate = 0.1;
+      config.eval_every = 5;
+      const auto r = ml::run_micro_trainer(config);
+      total += r.reached_target ? r.steps : config.max_steps;
+    }
+    trainer_steps[i] = total / 8.0;
+  });
+
+  // Model: samples-to-target at the same staleness values (delay in steps
+  // corresponds to staleness in iterations for a 1-worker pipeline).
+  ml::StatModelParams params;
+  params.eval_noise_sigma = 0.0;
+  std::vector<double> model_samples;
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    util::Rng rng(1);
+    const auto out = ml::samples_to_target(
+        params, 4.0, static_cast<double>(delays[i]),
+        ml::samples_to_target(params, 4.0, static_cast<double>(delays[i]),
+                              1e-9, sim::Compression::kNone, rng)
+            .lr_optimal,
+        sim::Compression::kNone, rng);
+    model_samples.push_back(out.samples_to_target);
+    rows.push_back({std::to_string(delays[i]), util::fmt(trainer_steps[i]),
+                    util::fmt(out.samples_to_target / params.base_samples)});
+  }
+  rows.push_back({"spearman", bench::fmt_ratio(util::spearman(
+                                  trainer_steps, model_samples)),
+                  ""});
+  bench::print_table(
+      "R-T6b  staleness law: real delayed-gradient SGD vs model",
+      {"delay", "trainer-mean-steps", "model-samples/base"}, rows);
+}
+
+void validate_batch_law() {
+  const std::vector<int> batches = {1, 2, 4, 16, 64, 256};
+  std::vector<double> trainer_samples(batches.size());
+  bench::parallel_tasks(batches.size(), [&](std::size_t i) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      ml::MicroTrainerConfig config;
+      config.seed = seed;
+      config.batch_size = batches[i];
+      config.class_separation = 2.8;
+      config.learning_rate = 0.1;
+      config.eval_every = 5;
+      const auto r = ml::run_micro_trainer(config);
+      total += r.samples_processed;
+    }
+    trainer_samples[i] = total / 8.0;
+  });
+  ml::StatModelParams params;
+  params.eval_noise_sigma = 0.0;
+  std::vector<double> model_samples;
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    util::Rng rng(1);
+    const double lr_opt =
+        ml::samples_to_target(params, batches[i], 0.0, 1e-9,
+                              sim::Compression::kNone, rng)
+            .lr_optimal;
+    const auto out = ml::samples_to_target(params, batches[i], 0.0, lr_opt,
+                                           sim::Compression::kNone, rng);
+    model_samples.push_back(out.samples_to_target);
+    rows.push_back({std::to_string(batches[i]), util::fmt(trainer_samples[i]),
+                    util::fmt(out.samples_to_target / params.base_samples)});
+  }
+  rows.push_back({"spearman", bench::fmt_ratio(util::spearman(
+                                  trainer_samples, model_samples)),
+                  ""});
+  bench::print_table(
+      "R-T6c  critical-batch law: real SGD samples-to-target vs model",
+      {"batch", "trainer-mean-samples", "model-samples/base"}, rows);
+}
+
+}  // namespace
+
+int main() {
+  validate_analytic_vs_des();
+  validate_staleness_law();
+  validate_batch_law();
+  return 0;
+}

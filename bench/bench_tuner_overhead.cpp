@@ -1,0 +1,85 @@
+// Experiment R-F8 — the tuner's own computational overhead.
+//
+// google-benchmark microbenchmarks of the two per-iteration costs the tuner
+// adds on top of the (dominant) training evaluations: fitting the surrogate
+// and maximizing the acquisition, as a function of history size. The claim
+// to reproduce: tuner overhead is seconds per iteration even at history
+// sizes far beyond a realistic budget — negligible next to cluster-hours
+// per evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/acquisition_optimizer.h"
+#include "core/surrogate.h"
+#include "workloads/objective_adapter.h"
+
+using namespace autodml;
+
+namespace {
+
+std::vector<core::Trial> make_history(const wl::Workload& workload,
+                                      wl::Evaluator& evaluator, int n) {
+  util::Rng rng(5);
+  std::vector<core::Trial> trials;
+  for (int i = 0; i < n; ++i) {
+    const conf::Config c = evaluator.space().sample_uniform(rng);
+    const wl::EvalResult r = evaluator.evaluate_ground_truth(c);
+    trials.push_back(wl::to_trial(r, wl::Objective::kTimeToAccuracy));
+  }
+  (void)workload;
+  return trials;
+}
+
+void BM_SurrogateUpdate(benchmark::State& state) {
+  const auto& workload = wl::workload_by_name("mlp-tabular");
+  wl::Evaluator evaluator(workload, 1);
+  const auto history =
+      make_history(workload, evaluator, static_cast<int>(state.range(0)));
+  core::SurrogateOptions options;
+  options.gp.restarts = 1;
+  options.gp.adam_iterations = 80;
+  for (auto _ : state) {
+    core::SurrogateModel model(evaluator.space(), options, 3);
+    model.update(history);
+    benchmark::DoNotOptimize(model.ready());
+  }
+  state.SetLabel("history=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SurrogateUpdate)->Arg(10)->Arg(20)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AcquisitionProposal(benchmark::State& state) {
+  const auto& workload = wl::workload_by_name("mlp-tabular");
+  wl::Evaluator evaluator(workload, 1);
+  const auto history =
+      make_history(workload, evaluator, static_cast<int>(state.range(0)));
+  core::SurrogateOptions options;
+  options.gp.restarts = 1;
+  core::SurrogateModel model(evaluator.space(), options, 3);
+  model.update(history);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    auto candidate = core::propose_candidate(
+        model, core::AcquisitionKind::kLogEi, history, rng);
+    benchmark::DoNotOptimize(candidate);
+  }
+  state.SetLabel("history=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AcquisitionProposal)->Arg(10)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleSimulatedEvaluation(benchmark::State& state) {
+  // For scale: what one black-box evaluation costs the *host* (the
+  // simulated cluster cost is hours; this is the simulation wall time).
+  const auto& workload = wl::workload_by_name("mlp-tabular");
+  wl::Evaluator evaluator(workload, 1);
+  const conf::Config c =
+      wl::default_expert_config(workload, evaluator.space());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_ground_truth(c).tta_seconds);
+  }
+}
+BENCHMARK(BM_SingleSimulatedEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

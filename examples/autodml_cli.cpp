@@ -1,0 +1,256 @@
+// autodml_cli — command-line front-end for the library.
+//
+// Subcommands (first positional argument):
+//   workloads                      list the workload suite
+//   space      --workload=W        print the configuration space
+//   evaluate   --workload=W [--config=k=v,k=v,...]
+//                                  ground-truth evaluation of one config
+//   tune       --workload=W [--evals=N] [--seed=S] [--objective=time|cost]
+//              [--deadline-hours=H] [--acquisition=ei|logei|ucb|pi|eipercost]
+//              [--no-early-term] [--session=FILE] [--resume=FILE]
+//                                  run the tuner; optionally persist/resume
+//   importance --workload=W [--evals=N]
+//                                  tune briefly, print both sensitivity views
+//
+// Exit code 0 on success, 1 on user error, 2 on "no feasible config found".
+#include <cstdio>
+#include <exception>
+
+#include "core/bo_tuner.h"
+#include "core/sensitivity.h"
+#include "core/session_io.h"
+#include "util/arg_parse.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "workloads/objective_adapter.h"
+
+using namespace autodml;
+
+namespace {
+
+void cmd_workloads() {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& w : wl::workload_suite()) {
+    rows.push_back({w.name, w.description,
+                    util::fmt(w.model_bytes / 1e6, 4) + " MB",
+                    util::fmt(w.flops_per_sample, 3)});
+  }
+  std::fputs(util::render_table({"name", "description", "model", "flops/sample"},
+                                rows)
+                 .c_str(),
+             stdout);
+}
+
+void cmd_space(const wl::Workload& workload) {
+  const conf::ConfigSpace space = wl::build_config_space(workload);
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < space.num_params(); ++i) {
+    const auto& p = space.param(i);
+    std::string domain;
+    switch (p.kind()) {
+      case conf::ParamKind::kInt:
+        domain = "int [" + std::to_string(p.int_lo()) + ", " +
+                 std::to_string(p.int_hi()) + "]";
+        break;
+      case conf::ParamKind::kIntChoice: {
+        std::vector<std::string> vals;
+        for (auto v : p.int_choices()) vals.push_back(std::to_string(v));
+        domain = "{" + util::join(vals, ",") + "}";
+        break;
+      }
+      case conf::ParamKind::kContinuous:
+        domain = std::string(p.log_scale() ? "log" : "lin") + " [" +
+                 util::fmt(p.cont_lo()) + ", " + util::fmt(p.cont_hi()) + "]";
+        break;
+      case conf::ParamKind::kCategorical:
+        domain = "{" + util::join(p.categories(), ",") + "}";
+        break;
+      case conf::ParamKind::kBool:
+        domain = "{false,true}";
+        break;
+    }
+    rows.push_back({p.name(), domain,
+                    p.is_conditional() ? "when " + p.parent() + " in {" +
+                                             util::join(p.parent_values(), ",") +
+                                             "}"
+                                       : ""});
+  }
+  std::fputs(util::render_table({"parameter", "domain", "condition"}, rows)
+                 .c_str(),
+             stdout);
+  std::printf("encoded dimension: %zu\n", space.encoded_dimension());
+}
+
+conf::Config parse_config_overrides(const conf::ConfigSpace& space,
+                                    const wl::Workload& workload,
+                                    const std::string& spec) {
+  conf::Config config = wl::default_expert_config(workload, space);
+  if (spec.empty()) return config;
+  for (const std::string& assignment : util::split(spec, ',')) {
+    const auto parts = util::split(assignment, '=');
+    if (parts.size() != 2)
+      throw std::invalid_argument("bad --config entry: " + assignment);
+    const std::string& name = parts[0];
+    const std::string& value = parts[1];
+    const auto& p = space.param(name);
+    switch (p.kind()) {
+      case conf::ParamKind::kInt:
+      case conf::ParamKind::kIntChoice:
+        config.set_int(name, std::stoll(value));
+        break;
+      case conf::ParamKind::kContinuous:
+        config.set_double(name, std::stod(value));
+        break;
+      case conf::ParamKind::kCategorical:
+        config.set_cat(name, value);
+        break;
+      case conf::ParamKind::kBool:
+        config.set_bool(name, util::to_lower(value) == "true");
+        break;
+    }
+  }
+  space.canonicalize(config);
+  space.validate(config);
+  return config;
+}
+
+int cmd_evaluate(const wl::Workload& workload, const util::ArgParser& args) {
+  wl::Evaluator evaluator(workload,
+                          static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const conf::Config config = parse_config_overrides(
+      evaluator.space(), workload, args.get("config", ""));
+  std::printf("config: %s\n", config.to_string().c_str());
+  const wl::EvalResult r = evaluator.evaluate_ground_truth(config);
+  if (!r.feasible) {
+    std::printf("infeasible: %s\n", r.failure.c_str());
+    return 2;
+  }
+  std::printf("time-to-accuracy: %s h\ncost: $%s (rate $%s/h)\n",
+              util::fmt(r.tta_seconds / 3600.0).c_str(),
+              util::fmt(r.cost_usd).c_str(),
+              util::fmt(r.usd_per_hour).c_str());
+  return 0;
+}
+
+int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
+  wl::EvaluatorOptions eval_options;
+  const std::string objective_name = args.get("objective", "time");
+  if (objective_name == "cost") {
+    eval_options.objective = wl::Objective::kCostToAccuracy;
+  } else if (objective_name != "time") {
+    std::fprintf(stderr, "unknown --objective=%s\n", objective_name.c_str());
+    return 1;
+  }
+  if (args.has("deadline-hours")) {
+    eval_options.deadline_seconds =
+        args.get_double("deadline-hours", 0.0) * 3600.0;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  wl::Evaluator evaluator(workload, seed, eval_options);
+  wl::EvaluatorObjective objective(evaluator);
+
+  core::BoOptions options;
+  options.seed = seed;
+  options.max_evaluations = static_cast<int>(args.get_int("evals", 30));
+  options.acquisition =
+      core::acquisition_from_string(args.get("acquisition", "logei"));
+  options.early_term.enabled = !args.get_bool("no-early-term", false);
+  if (args.has("resume")) {
+    options.warm_start =
+        core::load_trials(args.get("resume", ""), evaluator.space());
+    options.initial_design_size = 2;
+    std::printf("resumed %zu trials from %s\n", options.warm_start.size(),
+                args.get("resume", "").c_str());
+  }
+
+  core::BoTuner tuner(objective, options);
+  const core::TuningResult result = tuner.tune();
+  if (args.has("session")) {
+    core::save_trials(args.get("session", ""), result.trials);
+    std::printf("session saved to %s\n", args.get("session", "").c_str());
+  }
+  if (!result.found_feasible()) {
+    std::printf("no feasible configuration found in %zu evaluations\n",
+                result.trials.size());
+    return 2;
+  }
+  const wl::EvalResult truth =
+      evaluator.evaluate_ground_truth(result.best_config);
+  std::printf("best config: %s\n", result.best_config.to_string().c_str());
+  std::printf("objective (%s): %s\n", objective_name.c_str(),
+              util::fmt(result.best_objective).c_str());
+  if (truth.feasible) {
+    std::printf("ground truth: TTA %s h, cost $%s\n",
+                util::fmt(truth.tta_seconds / 3600.0).c_str(),
+                util::fmt(truth.cost_usd).c_str());
+  }
+  std::printf("search cost: %s simulated hours over %zu runs\n",
+              util::fmt(evaluator.total_spent_seconds() / 3600.0).c_str(),
+              evaluator.num_runs());
+  return 0;
+}
+
+int cmd_importance(const wl::Workload& workload, const util::ArgParser& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  wl::Evaluator evaluator(workload, seed);
+  wl::EvaluatorObjective objective(evaluator);
+  core::BoOptions options;
+  options.seed = seed;
+  options.max_evaluations = static_cast<int>(args.get_int("evals", 35));
+  core::BoTuner tuner(objective, options);
+  tuner.tune();
+  const math::Vec relevance = tuner.surrogate().ard_relevance();
+  if (relevance.empty()) {
+    std::printf("surrogate never became ready (all runs failed?)\n");
+    return 2;
+  }
+  const auto ard = core::ard_param_importance(evaluator.space(), relevance);
+  util::Rng rng(seed + 1);
+  const auto variance = core::variance_importance(
+      tuner.surrogate(), evaluator.space(), rng);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& a : ard) {
+    std::string var_share = "-";
+    for (const auto& v : variance) {
+      if (v.param == a.param) var_share = util::fmt(v.importance, 3);
+    }
+    rows.push_back({a.param, util::fmt(a.importance, 3), var_share});
+  }
+  std::fputs(
+      util::render_table({"parameter", "ARD", "variance-share"}, rows).c_str(),
+      stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const std::string command = argc > 1 && argv[1][0] != '-' ? argv[1] : "";
+  try {
+    if (command == "workloads") {
+      cmd_workloads();
+      return 0;
+    }
+    if (command.empty()) {
+      std::fprintf(stderr,
+                   "usage: autodml_cli <workloads|space|evaluate|tune|"
+                   "importance> [--flags]\n");
+      return 1;
+    }
+    const wl::Workload& workload =
+        wl::workload_by_name(args.get("workload", "logreg-ads"));
+    if (command == "space") {
+      cmd_space(workload);
+      return 0;
+    }
+    if (command == "evaluate") return cmd_evaluate(workload, args);
+    if (command == "tune") return cmd_tune(workload, args);
+    if (command == "importance") return cmd_importance(workload, args);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

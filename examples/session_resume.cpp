@@ -1,0 +1,66 @@
+// Persisting and resuming a tuning session.
+//
+// Phase 1 tunes with a small budget and saves every trial to JSON. Phase 2
+// (conceptually a new process, possibly days later) reloads the history,
+// warm-starts the tuner, and continues with a few more evaluations —
+// without re-paying for anything already learned.
+//
+//   ./session_resume [--workload=mf-recsys] [--phase1=12] [--phase2=8]
+#include <cstdio>
+
+#include "core/bo_tuner.h"
+#include "core/session_io.h"
+#include "util/arg_parse.h"
+#include "util/csv.h"
+#include "workloads/objective_adapter.h"
+
+using namespace autodml;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const wl::Workload& workload =
+      wl::workload_by_name(args.get("workload", "mf-recsys"));
+  const int phase1 = static_cast<int>(args.get_int("phase1", 12));
+  const int phase2 = static_cast<int>(args.get_int("phase2", 8));
+  const std::string path = args.get("session", "/tmp/autodml_session.json");
+
+  // ---- Phase 1: tune and save ------------------------------------------
+  double phase1_best;
+  {
+    wl::Evaluator evaluator(workload, 42);
+    wl::EvaluatorObjective objective(evaluator);
+    core::BoOptions options;
+    options.seed = 42;
+    options.max_evaluations = phase1;
+    core::BoTuner tuner(objective, options);
+    const core::TuningResult result = tuner.tune();
+    phase1_best = result.best_objective;
+    core::save_trials(path, result.trials);
+    std::printf("phase 1: %d evaluations, best TTA %s h, session -> %s\n",
+                phase1, util::fmt(phase1_best / 3600.0).c_str(),
+                path.c_str());
+  }
+
+  // ---- Phase 2: reload and continue -------------------------------------
+  {
+    wl::Evaluator evaluator(workload, 43);  // fresh evaluator, fresh ledger
+    wl::EvaluatorObjective objective(evaluator);
+    core::BoOptions options;
+    options.seed = 43;
+    options.max_evaluations = phase2;
+    options.initial_design_size = 2;  // history replaces the cold design
+    options.warm_start = core::load_trials(path, evaluator.space());
+    core::BoTuner tuner(objective, options);
+    const core::TuningResult result = tuner.tune();
+    std::printf(
+        "phase 2: loaded %zu trials, %d more evaluations, best TTA %s h\n",
+        options.warm_start.size(), phase2,
+        util::fmt(result.best_objective / 3600.0).c_str());
+    std::printf("phase 2 search cost: %s simulated hours\n",
+                util::fmt(evaluator.total_spent_seconds() / 3600.0).c_str());
+    const double combined = std::min(phase1_best, result.best_objective);
+    std::printf("combined best across phases: %s h\n",
+                util::fmt(combined / 3600.0).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,339 @@
+#include "baselines/baseline_tuners.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "config/sampler.h"
+
+namespace autodml::baselines {
+
+namespace {
+
+core::Trial run_full(core::ObjectiveFunction& objective,
+                     const conf::Config& config) {
+  core::Trial trial;
+  trial.config = config;
+  trial.outcome = objective.run(config, nullptr);
+  return trial;
+}
+
+bool budget_left(const core::TuningResult& result, int max_evaluations) {
+  return static_cast<int>(result.trials.size()) < max_evaluations;
+}
+
+}  // namespace
+
+core::TuningResult random_search(core::ObjectiveFunction& objective,
+                                 int max_evaluations, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const conf::ConfigSpace& space = objective.space();
+  core::TuningResult result;
+  std::set<math::Vec> seen;
+  int stale_draws = 0;
+  while (budget_left(result, max_evaluations)) {
+    conf::Config candidate = space.sample_uniform(rng);
+    if (!seen.insert(space.encode(candidate)).second) {
+      // Duplicate; tolerate a few, then accept (tiny spaces).
+      if (++stale_draws < 50) continue;
+    }
+    stale_draws = 0;
+    core::record_trial(result, run_full(objective, candidate));
+  }
+  return result;
+}
+
+core::TuningResult grid_search(core::ObjectiveFunction& objective,
+                               int max_evaluations, std::uint64_t seed,
+                               std::size_t points_per_axis) {
+  util::Rng rng(seed);
+  const conf::ConfigSpace& space = objective.space();
+  std::vector<conf::Config> grid = space.grid(points_per_axis);
+  // Deterministic shuffle: a truncated grid should still cover the space
+  // instead of exhausting the lexicographically-first corner.
+  rng.shuffle(grid);
+
+  core::TuningResult result;
+  std::set<math::Vec> seen;
+  for (const conf::Config& candidate : grid) {
+    if (!budget_left(result, max_evaluations)) break;
+    if (!seen.insert(space.encode(candidate)).second) continue;
+    core::record_trial(result, run_full(objective, candidate));
+  }
+  return result;
+}
+
+core::TuningResult coordinate_descent(
+    core::ObjectiveFunction& objective, int max_evaluations,
+    std::uint64_t seed, const CoordinateDescentOptions& options) {
+  util::Rng rng(seed);
+  const conf::ConfigSpace& space = objective.space();
+  core::TuningResult result;
+  std::set<math::Vec> seen;
+
+  const auto try_config = [&](const conf::Config& candidate) -> bool {
+    // Returns true if the trial ran (false: duplicate or out of budget).
+    if (!budget_left(result, max_evaluations)) return false;
+    if (!seen.insert(space.encode(candidate)).second) return false;
+    core::record_trial(result, run_full(objective, candidate));
+    return true;
+  };
+
+  conf::Config current = space.sample_uniform(rng);
+  try_config(current);
+  if (result.found_feasible()) current = result.best_config;
+
+  for (int sweep = 0;
+       sweep < options.max_sweeps && budget_left(result, max_evaluations);
+       ++sweep) {
+    bool improved = false;
+    for (std::size_t i = 0;
+         i < space.num_params() && budget_left(result, max_evaluations); ++i) {
+      const auto& p = space.param(i);
+      if (!space.is_active(current, i)) continue;
+      // Enumerate the axis: full menus for discrete kinds, quantiles for
+      // continuous ones.
+      std::vector<conf::ParamValue> values;
+      switch (p.kind()) {
+        case conf::ParamKind::kInt: {
+          const std::size_t card = p.cardinality();
+          const std::size_t n = std::min<std::size_t>(
+              card, static_cast<std::size_t>(options.values_per_continuous_axis));
+          for (std::size_t k = 0; k < n; ++k) {
+            const double frac =
+                n == 1 ? 0.5
+                       : static_cast<double>(k) / static_cast<double>(n - 1);
+            values.push_back(p.int_lo() + static_cast<std::int64_t>(std::llround(
+                                              frac * static_cast<double>(
+                                                         p.int_hi() - p.int_lo()))));
+          }
+          break;
+        }
+        case conf::ParamKind::kIntChoice:
+          for (auto v : p.int_choices()) values.emplace_back(v);
+          break;
+        case conf::ParamKind::kContinuous: {
+          const int n = options.values_per_continuous_axis;
+          for (int k = 0; k < n; ++k) {
+            const double frac = (static_cast<double>(k) + 0.5) /
+                                static_cast<double>(n);
+            if (p.log_scale()) {
+              values.emplace_back(std::exp(
+                  std::log(p.cont_lo()) +
+                  frac * (std::log(p.cont_hi()) - std::log(p.cont_lo()))));
+            } else {
+              values.emplace_back(p.cont_lo() +
+                                  frac * (p.cont_hi() - p.cont_lo()));
+            }
+          }
+          break;
+        }
+        case conf::ParamKind::kCategorical:
+          for (const auto& c : p.categories()) values.emplace_back(c);
+          break;
+        case conf::ParamKind::kBool:
+          values.emplace_back(false);
+          values.emplace_back(true);
+          break;
+      }
+      for (const auto& v : values) {
+        if (!budget_left(result, max_evaluations)) break;
+        conf::Config candidate = current;
+        candidate.set_value_at(i, v);
+        space.canonicalize(candidate);
+        try_config(candidate);
+      }
+      if (result.found_feasible() && !(result.best_config == current)) {
+        current = result.best_config;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+core::TuningResult simulated_annealing(core::ObjectiveFunction& objective,
+                                       int max_evaluations,
+                                       std::uint64_t seed,
+                                       const AnnealingOptions& options) {
+  util::Rng rng(seed);
+  const conf::ConfigSpace& space = objective.space();
+  core::TuningResult result;
+
+  conf::Config current = space.sample_uniform(rng);
+  core::Trial first = run_full(objective, current);
+  double current_value = first.succeeded()
+                             ? std::log(first.outcome.objective)
+                             : std::numeric_limits<double>::infinity();
+  core::record_trial(result, std::move(first));
+
+  double temperature = options.initial_temperature;
+  while (budget_left(result, max_evaluations)) {
+    conf::Config candidate =
+        space.neighbor(current, rng, options.neighbor_sigma);
+    core::Trial trial = run_full(objective, candidate);
+    const double value = trial.succeeded()
+                             ? std::log(trial.outcome.objective)
+                             : std::numeric_limits<double>::infinity();
+    bool accept = false;
+    if (value < current_value) {
+      accept = true;
+    } else if (std::isfinite(value) && temperature > 1e-9) {
+      accept = rng.bernoulli(std::exp(-(value - current_value) / temperature));
+    }
+    if (accept) {
+      current = candidate;
+      current_value = value;
+    }
+    temperature *= options.cooling;
+    core::record_trial(result, std::move(trial));
+  }
+  return result;
+}
+
+namespace {
+
+/// Aborts a run after a fixed wall-time budget, remembering the last metric
+/// (successive halving ranks survivors by it).
+class FixedBudgetController final : public core::RunController {
+ public:
+  explicit FixedBudgetController(double budget_seconds)
+      : budget_(budget_seconds) {}
+
+  bool should_abort(const core::RunCheckpoint& cp) override {
+    last_metric_ = cp.metric;
+    return cp.wall_seconds >= budget_;
+  }
+
+  double last_metric() const { return last_metric_; }
+
+ private:
+  double budget_;
+  double last_metric_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+core::TuningResult successive_halving(
+    core::ObjectiveFunction& objective, int max_evaluations,
+    std::uint64_t seed, const SuccessiveHalvingOptions& options) {
+  util::Rng rng(seed);
+  const conf::ConfigSpace& space = objective.space();
+  core::TuningResult result;
+
+  // Size the ladder to the budget: every rung run and every finalist's full
+  // run costs one evaluation, and the finals are the only trials that yield
+  // true objectives — they must fit or the search returns nothing.
+  const auto planned_total = [&](int n0) {
+    int total = 0;
+    double n = n0;
+    for (int rung = 0; rung < options.max_rungs && n > 1.0; ++rung) {
+      total += static_cast<int>(n);
+      n = std::max(1.0, std::floor(n / options.eta));
+    }
+    return total + static_cast<int>(n);  // finals
+  };
+  int initial = std::max(2, options.initial_configs);
+  while (initial > 2 && planned_total(initial) > max_evaluations) --initial;
+
+  std::vector<conf::Config> survivors = conf::latin_hypercube(
+      space, static_cast<std::size_t>(initial), rng);
+  double rung_budget = options.first_rung_seconds;
+
+  for (int rung = 0; rung < options.max_rungs && survivors.size() > 1 &&
+                     budget_left(result, max_evaluations);
+       ++rung) {
+    std::vector<std::pair<double, std::size_t>> scored;  // (-metric, idx)
+    for (std::size_t i = 0;
+         i < survivors.size() && budget_left(result, max_evaluations); ++i) {
+      FixedBudgetController controller(rung_budget);
+      core::Trial trial;
+      trial.config = survivors[i];
+      trial.outcome = objective.run(survivors[i], &controller);
+      // A run short enough to *finish* inside the rung budget is a real
+      // observation; aborted ones only contribute their ranking metric.
+      scored.emplace_back(-controller.last_metric(), i);
+      core::record_trial(result, std::move(trial));
+    }
+    std::sort(scored.begin(), scored.end());
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(static_cast<double>(scored.size()) / options.eta)));
+    std::vector<conf::Config> next;
+    next.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i)
+      next.push_back(survivors[scored[i].second]);
+    survivors = std::move(next);
+    rung_budget *= options.eta;
+  }
+
+  // Finals: run the survivors to completion for true objective values.
+  for (const conf::Config& finalist : survivors) {
+    if (!budget_left(result, max_evaluations)) break;
+    core::record_trial(result, run_full(objective, finalist));
+  }
+  return result;
+}
+
+core::TuningResult cherrypick_bo(core::ObjectiveFunction& objective,
+                                 int max_evaluations, std::uint64_t seed) {
+  core::BoOptions options;
+  options.seed = seed;
+  options.max_evaluations = max_evaluations;
+  options.initial_design_size = 6;
+  options.acquisition = core::AcquisitionKind::kEi;
+  options.early_term.enabled = false;
+  core::BoTuner tuner(objective, std::move(options));
+  return tuner.tune();
+}
+
+core::TuningResult autodml_bo(core::ObjectiveFunction& objective,
+                              int max_evaluations, std::uint64_t seed,
+                              core::BoOptions options) {
+  options.seed = seed;
+  options.max_evaluations = max_evaluations;
+  core::BoTuner tuner(objective, std::move(options));
+  return tuner.tune();
+}
+
+namespace {
+
+core::TuningResult autodml_entry(core::ObjectiveFunction& objective,
+                                 int max_evaluations, std::uint64_t seed) {
+  return autodml_bo(objective, max_evaluations, seed);
+}
+
+core::TuningResult grid_entry(core::ObjectiveFunction& objective,
+                              int max_evaluations, std::uint64_t seed) {
+  return grid_search(objective, max_evaluations, seed);
+}
+
+core::TuningResult coord_entry(core::ObjectiveFunction& objective,
+                               int max_evaluations, std::uint64_t seed) {
+  return coordinate_descent(objective, max_evaluations, seed);
+}
+
+core::TuningResult anneal_entry(core::ObjectiveFunction& objective,
+                                int max_evaluations, std::uint64_t seed) {
+  return simulated_annealing(objective, max_evaluations, seed);
+}
+
+core::TuningResult sha_entry(core::ObjectiveFunction& objective,
+                             int max_evaluations, std::uint64_t seed) {
+  return successive_halving(objective, max_evaluations, seed);
+}
+
+}  // namespace
+
+const std::vector<NamedTuner>& tuner_registry() {
+  static const std::vector<NamedTuner> kRegistry = {
+      {"autodml", &autodml_entry},   {"cherrypick", &cherrypick_bo},
+      {"random", &random_search},    {"grid", &grid_entry},
+      {"coordinate", &coord_entry},  {"annealing", &anneal_entry},
+      {"sha", &sha_entry},
+  };
+  return kRegistry;
+}
+
+}  // namespace autodml::baselines

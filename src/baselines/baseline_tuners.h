@@ -1,0 +1,83 @@
+// Baseline configuration tuners.
+//
+// Every comparison the paper's evaluation makes needs the comparator
+// implemented, not waved at. All baselines speak the same ObjectiveFunction
+// interface as the core tuner and produce the same TuningResult records, so
+// benches sweep methods uniformly:
+//   - random search: uniform i.i.d. configurations (the honest default);
+//   - grid search: full-factorial grid, deterministically shuffled so a
+//     truncated budget still spreads over the space;
+//   - coordinate descent: OtterTune-flavoured greedy one-knob-at-a-time;
+//   - simulated annealing: neighbor moves with Metropolis acceptance on the
+//     log objective;
+//   - successive halving: many cheap partial runs, promote by intermediate
+//     metric (Hyperband's inner loop) — exploits the checkpoint stream;
+//   - CherryPick-style BO: EI acquisition, no early termination, smaller
+//     initial design (the closest published relative of the core tuner).
+#pragma once
+
+#include <string>
+
+#include "core/bo_tuner.h"
+#include "core/tuner_types.h"
+
+namespace autodml::baselines {
+
+core::TuningResult random_search(core::ObjectiveFunction& objective,
+                                 int max_evaluations, std::uint64_t seed);
+
+core::TuningResult grid_search(core::ObjectiveFunction& objective,
+                               int max_evaluations, std::uint64_t seed,
+                               std::size_t points_per_axis = 3);
+
+struct CoordinateDescentOptions {
+  int values_per_continuous_axis = 5;
+  int max_sweeps = 8;  // full passes over the parameters
+};
+
+core::TuningResult coordinate_descent(
+    core::ObjectiveFunction& objective, int max_evaluations,
+    std::uint64_t seed, const CoordinateDescentOptions& options = {});
+
+struct AnnealingOptions {
+  double initial_temperature = 1.0;  // on log-objective deltas
+  double cooling = 0.90;             // per-move multiplier
+  double neighbor_sigma = 0.15;
+};
+
+core::TuningResult simulated_annealing(core::ObjectiveFunction& objective,
+                                       int max_evaluations,
+                                       std::uint64_t seed,
+                                       const AnnealingOptions& options = {});
+
+struct SuccessiveHalvingOptions {
+  int initial_configs = 16;
+  double eta = 2.0;                  // keep top 1/eta per rung
+  double first_rung_seconds = 1800;  // partial-run budget at rung 0
+  int max_rungs = 3;                 // then survivors run to completion
+};
+
+core::TuningResult successive_halving(
+    core::ObjectiveFunction& objective, int max_evaluations,
+    std::uint64_t seed, const SuccessiveHalvingOptions& options = {});
+
+/// CherryPick-configured core tuner (EI, cost-aware, no early termination).
+core::TuningResult cherrypick_bo(core::ObjectiveFunction& objective,
+                                 int max_evaluations, std::uint64_t seed);
+
+/// The paper's full method, default configuration (log-EI + early
+/// termination + feasibility model). Convenience wrapper over BoTuner.
+core::TuningResult autodml_bo(core::ObjectiveFunction& objective,
+                              int max_evaluations, std::uint64_t seed,
+                              core::BoOptions options = {});
+
+/// Method registry for benches: name -> callable.
+using TunerFn = core::TuningResult (*)(core::ObjectiveFunction&, int,
+                                       std::uint64_t);
+struct NamedTuner {
+  std::string name;
+  TunerFn fn;
+};
+const std::vector<NamedTuner>& tuner_registry();
+
+}  // namespace autodml::baselines

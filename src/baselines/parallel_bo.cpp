@@ -1,0 +1,61 @@
+#include "baselines/parallel_bo.h"
+
+#include <algorithm>
+
+#include "config/sampler.h"
+#include "core/acquisition_optimizer.h"
+#include "core/early_termination.h"
+
+namespace autodml::baselines {
+
+ParallelBoResult parallel_bo(core::ObjectiveFunction& objective,
+                             const ParallelBoOptions& options) {
+  if (options.batch_size < 1 || options.rounds < 1)
+    throw std::invalid_argument("parallel_bo: bad batch/round counts");
+  util::Rng rng(options.seed);
+  const conf::ConfigSpace& space = objective.space();
+
+  core::EarlyTermOptions early_term = options.early_term;
+  early_term.target_metric = objective.target_metric();
+  early_term.objective_is_cost = objective.objective_is_cost();
+
+  ParallelBoResult result;
+  std::vector<core::Trial> history;
+
+  const auto run_round = [&](const std::vector<conf::Config>& batch,
+                             bool allow_early_term) {
+    double slowest = 0.0;
+    for (const conf::Config& config : batch) {
+      core::Trial trial;
+      trial.config = config;
+      if (allow_early_term && early_term.enabled &&
+          result.tuning.found_feasible()) {
+        core::EarlyTerminationPolicy policy(early_term,
+                                            result.tuning.best_objective);
+        trial.outcome = objective.run(config, &policy);
+      } else {
+        trial.outcome = objective.run(config, nullptr);
+      }
+      slowest = std::max(slowest, trial.outcome.spent_seconds);
+      history.push_back(trial);
+      core::record_trial(result.tuning, std::move(trial));
+    }
+    result.wall_clock_seconds += slowest;
+  };
+
+  // Round 0: space-filling design.
+  run_round(conf::latin_hypercube(
+                space, static_cast<std::size_t>(options.batch_size), rng),
+            /*allow_early_term=*/false);
+
+  for (int round = 1; round < options.rounds; ++round) {
+    const std::vector<conf::Config> batch = core::propose_batch(
+        space, options.surrogate, options.acquisition, history,
+        static_cast<std::size_t>(options.batch_size), rng,
+        options.acq_optimizer);
+    run_round(batch, /*allow_early_term=*/true);
+  }
+  return result;
+}
+
+}  // namespace autodml::baselines

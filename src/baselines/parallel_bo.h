@@ -1,0 +1,39 @@
+// Synchronous parallel Bayesian optimization.
+//
+// When `batch_size` training runs can execute concurrently (separate
+// clusters), the tuner proposes a batch per round via the constant-liar
+// heuristic and the round's wall-clock time is the *maximum* of its runs'
+// evaluation times instead of their sum. This driver executes rounds
+// sequentially (the simulation is single-threaded) but accounts wall clock
+// as a parallel executor would — the quantity experiment R-F13 reports.
+#pragma once
+
+#include "core/bo_tuner.h"
+#include "core/tuner_types.h"
+
+namespace autodml::baselines {
+
+struct ParallelBoOptions {
+  int batch_size = 4;
+  int rounds = 8;  // total evaluations = batch_size * rounds (+ design)
+  core::AcquisitionKind acquisition = core::AcquisitionKind::kLogEi;
+  core::EarlyTermOptions early_term;
+  core::SurrogateOptions surrogate;
+  core::AcqOptimizerOptions acq_optimizer;
+  std::uint64_t seed = 1;
+};
+
+struct ParallelBoResult {
+  core::TuningResult tuning;
+  /// Simulated wall-clock the search occupies with `batch_size`-way
+  /// parallelism: sum over rounds of the round's slowest evaluation.
+  double wall_clock_seconds = 0.0;
+};
+
+/// First round is a Latin-hypercube design of `batch_size` points; every
+/// later round is a constant-liar batch. Early termination applies once an
+/// incumbent exists.
+ParallelBoResult parallel_bo(core::ObjectiveFunction& objective,
+                             const ParallelBoOptions& options);
+
+}  // namespace autodml::baselines

@@ -1,0 +1,109 @@
+#include "core/acquisition_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace autodml::core {
+
+namespace {
+
+/// Exact-duplicate detection via the canonical encoding.
+std::set<math::Vec> encode_history(const conf::ConfigSpace& space,
+                                   std::span<const Trial> history) {
+  std::set<math::Vec> seen;
+  for (const Trial& t : history) seen.insert(space.encode(t.config));
+  return seen;
+}
+
+}  // namespace
+
+std::optional<conf::Config> propose_candidate(
+    const SurrogateModel& surrogate, AcquisitionKind kind,
+    std::span<const Trial> history, util::Rng& rng,
+    const AcqOptimizerOptions& options) {
+  const conf::ConfigSpace& space = surrogate.space();
+  const std::set<math::Vec> seen = encode_history(space, history);
+
+  std::vector<conf::Config> candidates;
+  candidates.reserve(
+      static_cast<std::size_t>(options.random_candidates) +
+      static_cast<std::size_t>(options.top_k * options.neighbors_per_seed));
+  for (int i = 0; i < options.random_candidates; ++i) {
+    candidates.push_back(space.sample_uniform(rng));
+  }
+
+  // Local neighborhoods around the best successful trials.
+  std::vector<const Trial*> ranked;
+  for (const Trial& t : history) {
+    if (t.succeeded()) ranked.push_back(&t);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Trial* a, const Trial* b) {
+    return a->outcome.objective < b->outcome.objective;
+  });
+  const std::size_t k =
+      std::min<std::size_t>(ranked.size(), static_cast<std::size_t>(options.top_k));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (int j = 0; j < options.neighbors_per_seed; ++j) {
+      candidates.push_back(
+          space.neighbor(ranked[i]->config, rng, options.neighbor_sigma));
+    }
+  }
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::optional<conf::Config> best;
+  std::set<math::Vec> pooled;  // dedup within the pool too
+  for (auto& candidate : candidates) {
+    math::Vec x = space.encode(candidate);
+    if (seen.count(x) || !pooled.insert(std::move(x)).second) continue;
+    const SurrogateScore s = surrogate.score(candidate);
+    AcquisitionInputs in;
+    in.mean = s.mean;
+    in.variance = s.variance;
+    in.incumbent = surrogate.incumbent_log();
+    in.prob_feasible = s.prob_feasible;
+    in.log_cost = s.log_cost;
+    in.ucb_beta = options.ucb_beta;
+    const double score = score_acquisition(kind, in);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+std::vector<conf::Config> propose_batch(
+    const conf::ConfigSpace& space, SurrogateOptions surrogate_options,
+    AcquisitionKind kind, std::span<const Trial> history,
+    std::size_t batch_size, util::Rng& rng,
+    const AcqOptimizerOptions& options) {
+  // Hyperparameters are fit once on the real history; liar refits reuse
+  // them (a liar point should not distort the lengthscales).
+  surrogate_options.hyperopt_every = 1 << 20;
+  SurrogateModel model(space, surrogate_options, rng.split().next_u64());
+  std::vector<Trial> augmented(history.begin(), history.end());
+
+  std::vector<conf::Config> batch;
+  batch.reserve(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    model.update(augmented);
+    std::optional<conf::Config> candidate;
+    if (model.ready()) {
+      candidate = propose_candidate(model, kind, augmented, rng, options);
+    }
+    if (!candidate) candidate = space.sample_uniform(rng);
+    // The lie: pretend the pending run returned the incumbent value.
+    Trial lie;
+    lie.config = *candidate;
+    lie.outcome.feasible = true;
+    lie.outcome.objective =
+        model.ready() ? std::exp(model.incumbent_log()) : 1.0;
+    lie.outcome.spent_seconds = lie.outcome.objective;
+    augmented.push_back(lie);
+    batch.push_back(std::move(*candidate));
+  }
+  return batch;
+}
+
+}  // namespace autodml::core

@@ -1,0 +1,48 @@
+// Acquisition maximization over the mixed configuration space.
+//
+// The space is mostly discrete (menus, categoricals, conditionals), so
+// gradient ascent on the acquisition is meaningless. Instead: score a large
+// uniform candidate pool (global exploration) plus neighborhoods of the best
+// trials so far (local exploitation), deduplicated against the history, and
+// return the argmax. This is the standard recipe for CherryPick-class tuners
+// and is exact enough when one real evaluation costs hours.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/acquisition.h"
+#include "core/surrogate.h"
+#include "core/tuner_types.h"
+
+namespace autodml::core {
+
+struct AcqOptimizerOptions {
+  int random_candidates = 512;
+  int top_k = 5;               // seed neighborhoods from the k best trials
+  int neighbors_per_seed = 16;
+  double neighbor_sigma = 0.12;
+  double ucb_beta = 2.0;
+};
+
+/// Best candidate by acquisition score, or nullopt when every candidate is
+/// a duplicate of an already-evaluated configuration (caller should fall
+/// back to a random sample).
+std::optional<conf::Config> propose_candidate(
+    const SurrogateModel& surrogate, AcquisitionKind kind,
+    std::span<const Trial> history, util::Rng& rng,
+    const AcqOptimizerOptions& options = {});
+
+/// Batch (parallel) proposals via the constant-liar heuristic: after each
+/// proposal, a fake observation at the incumbent value ("the lie") is
+/// appended and the surrogate is refit, pushing subsequent proposals away
+/// from the pending point. Returns up to `batch_size` distinct
+/// configurations (fewer if the space is exhausted). Used when `batch_size`
+/// training runs can execute concurrently on separate clusters.
+std::vector<conf::Config> propose_batch(
+    const conf::ConfigSpace& space, SurrogateOptions surrogate_options,
+    AcquisitionKind kind, std::span<const Trial> history,
+    std::size_t batch_size, util::Rng& rng,
+    const AcqOptimizerOptions& options = {});
+
+}  // namespace autodml::core

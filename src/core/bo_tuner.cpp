@@ -1,0 +1,92 @@
+#include "core/bo_tuner.h"
+
+#include <algorithm>
+
+#include "config/sampler.h"
+#include "util/log.h"
+
+namespace autodml::core {
+
+BoTuner::BoTuner(ObjectiveFunction& objective, BoOptions options)
+    : objective_(&objective),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      surrogate_(objective.space(), options_.surrogate,
+                 util::Rng(options_.seed).split().next_u64()) {
+  options_.early_term.target_metric = objective.target_metric();
+  options_.early_term.objective_is_cost = objective.objective_is_cost();
+  history_ = options_.warm_start;
+}
+
+std::vector<conf::Config> BoTuner::initial_configs() {
+  const auto n = static_cast<std::size_t>(options_.initial_design_size);
+  switch (options_.initial_design) {
+    case InitialDesign::kLatinHypercube:
+      return conf::latin_hypercube(objective_->space(), n, rng_);
+    case InitialDesign::kHalton:
+      return conf::halton_sequence(objective_->space(), n, rng_);
+    case InitialDesign::kUniform:
+      return conf::sample_uniform_batch(objective_->space(), n, rng_);
+  }
+  return {};
+}
+
+Trial BoTuner::evaluate(const conf::Config& config, bool allow_early_term,
+                        double incumbent) {
+  Trial trial;
+  trial.config = config;
+  if (allow_early_term && options_.early_term.enabled) {
+    EarlyTerminationPolicy policy(options_.early_term, incumbent);
+    trial.outcome = objective_->run(config, &policy);
+    if (trial.outcome.aborted) {
+      trial.outcome.projected_objective = policy.last_projection_unbiased();
+    }
+  } else {
+    trial.outcome = objective_->run(config, nullptr);
+  }
+  return trial;
+}
+
+TuningResult BoTuner::tune() {
+  TuningResult result;
+  const auto budget_left = [&] {
+    return static_cast<int>(result.trials.size()) < options_.max_evaluations &&
+           result.total_spent_seconds < options_.max_spent_seconds;
+  };
+
+  // Phase 1: initial design, run to completion (uncensored anchors).
+  for (const conf::Config& config : initial_configs()) {
+    if (!budget_left()) break;
+    Trial trial = evaluate(config, /*allow_early_term=*/false,
+                           result.best_objective);
+    history_.push_back(trial);
+    record_trial(result, std::move(trial));
+  }
+
+  // Phase 2: model-guided search.
+  while (budget_left()) {
+    surrogate_.update(history_);
+    std::optional<conf::Config> candidate;
+    const bool explore = rng_.bernoulli(options_.random_interleave_prob);
+    if (surrogate_.ready() && !explore) {
+      candidate = propose_candidate(surrogate_, options_.acquisition,
+                                    history_, rng_, options_.acq_optimizer);
+    }
+    if (!candidate) {
+      candidate = objective_->space().sample_uniform(rng_);
+    }
+    Trial trial = evaluate(*candidate, /*allow_early_term=*/true,
+                           result.best_objective);
+    ADML_DEBUG << "trial " << result.trials.size() << ": "
+               << trial.config.to_string() << " -> "
+               << (trial.succeeded() ? trial.outcome.objective : -1.0);
+    history_.push_back(trial);
+    record_trial(result, std::move(trial));
+  }
+
+  // Leave the surrogate fitted on everything seen (sensitivity analysis).
+  surrogate_.update(history_);
+  return result;
+}
+
+}  // namespace autodml::core

@@ -1,0 +1,63 @@
+// The AutoDML tuner: Bayesian optimization over distributed-ML system
+// configurations. This is the paper's primary contribution.
+//
+// Loop structure:
+//   1. Space-filling initial design (Latin hypercube by default), evaluated
+//      to completion — the model needs uncensored observations to anchor.
+//   2. Repeat until the evaluation or simulated-time budget is exhausted:
+//      fit the surrogate (objective + feasibility + cost GPs), maximize the
+//      acquisition over a mixed candidate pool, evaluate the winner under
+//      the early-termination policy (hopeless runs are killed from their
+//      learning curve), record the trial.
+// Warm-start trials (R-F9) are folded into the surrogate but are not
+// charged against the budget or reported in the result's trial list.
+#pragma once
+
+#include <memory>
+
+#include "core/acquisition_optimizer.h"
+#include "core/early_termination.h"
+#include "core/surrogate.h"
+#include "core/tuner_types.h"
+
+namespace autodml::core {
+
+enum class InitialDesign { kLatinHypercube, kHalton, kUniform };
+
+struct BoOptions {
+  int initial_design_size = 8;
+  InitialDesign initial_design = InitialDesign::kLatinHypercube;
+  AcquisitionKind acquisition = AcquisitionKind::kLogEi;
+  int max_evaluations = 30;
+  double max_spent_seconds = std::numeric_limits<double>::infinity();
+  double random_interleave_prob = 0.05;  // epsilon of pure exploration
+  EarlyTermOptions early_term;  // target_metric is filled from the objective
+  SurrogateOptions surrogate;
+  AcqOptimizerOptions acq_optimizer;
+  std::vector<Trial> warm_start;
+  std::uint64_t seed = 1;
+};
+
+class BoTuner {
+ public:
+  BoTuner(ObjectiveFunction& objective, BoOptions options);
+
+  /// Runs the full loop. Call once.
+  TuningResult tune();
+
+  /// Surrogate after tune(); used by the sensitivity experiment.
+  const SurrogateModel& surrogate() const { return surrogate_; }
+
+ private:
+  Trial evaluate(const conf::Config& config, bool allow_early_term,
+                 double incumbent);
+  std::vector<conf::Config> initial_configs();
+
+  ObjectiveFunction* objective_;
+  BoOptions options_;
+  util::Rng rng_;
+  SurrogateModel surrogate_;
+  std::vector<Trial> history_;  // warm start + own trials
+};
+
+}  // namespace autodml::core

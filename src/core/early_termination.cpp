@@ -1,0 +1,59 @@
+#include "core/early_termination.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/curve_fit.h"
+
+namespace autodml::core {
+
+EarlyTerminationPolicy::EarlyTerminationPolicy(EarlyTermOptions options,
+                                               double incumbent_objective)
+    : options_(options), incumbent_(incumbent_objective) {}
+
+void EarlyTerminationPolicy::on_run_start(double usd_per_hour) {
+  usd_per_hour_ = usd_per_hour;
+}
+
+bool EarlyTerminationPolicy::should_abort(const RunCheckpoint& checkpoint) {
+  if (!options_.enabled) return false;
+  samples_.push_back(checkpoint.samples);
+  metrics_.push_back(checkpoint.metric);
+  times_.push_back(checkpoint.wall_seconds);
+
+  if (!std::isfinite(incumbent_)) return false;  // nothing to beat yet
+  if (static_cast<int>(samples_.size()) < options_.min_checkpoints)
+    return false;
+
+  const ml::CurveFitResult fit = ml::fit_learning_curve(samples_, metrics_);
+  if (!fit.ok) {
+    hopeless_streak_ = 0;
+    return false;
+  }
+
+  const double needed_samples =
+      ml::predict_samples_to_reach(fit, options_.target_metric);
+  double projected;
+  if (!std::isfinite(needed_samples)) {
+    // Fitted ceiling below target: the run would never get there. Still
+    // demand the confirmation streak — early fits are unreliable.
+    projected = std::numeric_limits<double>::infinity();
+  } else {
+    // Convert samples to wall time through the measured processing rate.
+    const double rate = samples_.back() / std::max(1e-9, times_.back());
+    projected = needed_samples / rate * options_.optimism;
+    if (options_.objective_is_cost) {
+      projected = projected / 3600.0 * usd_per_hour_;
+    }
+  }
+  last_projection_ = projected;
+
+  if (projected > options_.kill_factor * incumbent_) {
+    ++hopeless_streak_;
+  } else {
+    hopeless_streak_ = 0;
+  }
+  return hopeless_streak_ >= options_.confirmations;
+}
+
+}  // namespace autodml::core

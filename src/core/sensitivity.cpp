@@ -1,0 +1,88 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/surrogate.h"
+#include "util/stats.h"
+
+namespace autodml::core {
+
+std::vector<ParamImportance> ard_param_importance(
+    const conf::ConfigSpace& space, std::span<const double> relevance) {
+  if (relevance.size() != space.encoded_dimension())
+    throw std::invalid_argument("ard_param_importance: dimension mismatch");
+
+  std::vector<ParamImportance> out;
+  out.reserve(space.num_params());
+  std::size_t pos = 0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < space.num_params(); ++i) {
+    const auto& p = space.param(i);
+    const std::size_t width = p.encoded_width();
+    double v = 0.0;
+    for (std::size_t j = 0; j < width; ++j) {
+      v = std::max(v, relevance[pos + j]);
+    }
+    pos += width;
+    out.push_back({p.name(), v});
+    total += v;
+  }
+  if (total > 0.0) {
+    for (auto& pi : out) pi.importance /= total;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ParamImportance& a, const ParamImportance& b) {
+              return a.importance > b.importance;
+            });
+  return out;
+}
+
+std::vector<ParamImportance> variance_importance(
+    const SurrogateModel& surrogate, const conf::ConfigSpace& space,
+    util::Rng& rng, int outer, int inner) {
+  if (!surrogate.ready())
+    throw std::logic_error("variance_importance: surrogate not ready");
+  if (outer < 2 || inner < 1)
+    throw std::invalid_argument("variance_importance: bad sample counts");
+
+  const auto f = [&](const conf::Config& c) { return surrogate.score(c).mean; };
+
+  // Total variance over the space.
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(outer * inner));
+  for (int i = 0; i < outer * inner; ++i) {
+    all.push_back(f(space.sample_uniform(rng)));
+  }
+  const double total_var = util::variance(all);
+
+  std::vector<ParamImportance> out;
+  out.reserve(space.num_params());
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    std::vector<double> conditional_means;
+    conditional_means.reserve(static_cast<std::size_t>(outer));
+    for (int o = 0; o < outer; ++o) {
+      // Conditioning value for param p, drawn uniformly.
+      const conf::Config donor = space.sample_uniform(rng);
+      double acc = 0.0;
+      for (int i = 0; i < inner; ++i) {
+        conf::Config c = space.sample_uniform(rng);
+        c.set_value_at(p, donor.value_at(p));
+        space.canonicalize(c);
+        acc += f(c);
+      }
+      conditional_means.push_back(acc / static_cast<double>(inner));
+    }
+    const double share =
+        total_var > 1e-12 ? util::variance(conditional_means) / total_var
+                          : 0.0;
+    out.push_back({space.param(p).name(), std::max(0.0, share)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ParamImportance& a, const ParamImportance& b) {
+              return a.importance > b.importance;
+            });
+  return out;
+}
+
+}  // namespace autodml::core

@@ -1,0 +1,43 @@
+// Knob-importance analysis from the fitted surrogate (experiment R-F7).
+//
+// An ARD kernel learns one lengthscale per encoded coordinate; short
+// lengthscale = the objective moves fast along that coordinate = the knob
+// matters. This maps coordinate-level relevances back to configuration
+// parameters (one-hot categorical blocks are aggregated by their maximum)
+// and normalizes to a distribution.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "config/config_space.h"
+
+namespace autodml::core {
+
+struct ParamImportance {
+  std::string param;
+  double importance = 0.0;  // normalized; sums to 1 over all params
+};
+
+/// `relevance` must have space.encoded_dimension() entries (e.g. the
+/// surrogate's ard_relevance()). Returns parameters sorted by decreasing
+/// importance.
+std::vector<ParamImportance> ard_param_importance(
+    const conf::ConfigSpace& space, std::span<const double> relevance);
+
+class SurrogateModel;
+
+/// First-order variance-based importance (fANOVA-lite): Monte Carlo
+/// estimate of Var_v(E[f | param_i = v]) / Var(f) on the surrogate's
+/// posterior mean, where f is the predicted log objective. Unlike the ARD
+/// view (which reads kernel lengthscales), this measures how much of the
+/// response-surface variance each knob explains by itself, so interactions
+/// lower all shares. `outer` conditioning values per parameter, `inner`
+/// samples per conditioning value. Returns parameters sorted by decreasing
+/// importance (shares need not sum to 1). Requires surrogate.ready().
+std::vector<ParamImportance> variance_importance(
+    const SurrogateModel& surrogate, const conf::ConfigSpace& space,
+    util::Rng& rng, int outer = 48, int inner = 16);
+
+}  // namespace autodml::core

@@ -1,0 +1,150 @@
+#include "core/session_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace autodml::core {
+
+namespace {
+
+util::JsonValue value_to_json(const conf::ParamValue& v) {
+  return std::visit(
+      [](const auto& x) -> util::JsonValue {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::int64_t>) {
+          return util::JsonValue(static_cast<double>(x));
+        } else if constexpr (std::is_same_v<T, double>) {
+          return util::JsonValue(x);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return util::JsonValue(x);
+        } else {
+          return util::JsonValue(x);  // bool
+        }
+      },
+      v);
+}
+
+conf::ParamValue value_from_json(const conf::ParamSpec& spec,
+                                 const util::JsonValue& v) {
+  switch (spec.kind()) {
+    case conf::ParamKind::kInt:
+    case conf::ParamKind::kIntChoice:
+      if (!v.is_number())
+        throw std::invalid_argument("session: expected number for " +
+                                    spec.name());
+      return static_cast<std::int64_t>(v.as_number());
+    case conf::ParamKind::kContinuous:
+      if (!v.is_number())
+        throw std::invalid_argument("session: expected number for " +
+                                    spec.name());
+      return v.as_number();
+    case conf::ParamKind::kCategorical:
+      if (!v.is_string())
+        throw std::invalid_argument("session: expected string for " +
+                                    spec.name());
+      return v.as_string();
+    case conf::ParamKind::kBool:
+      if (!v.is_bool())
+        throw std::invalid_argument("session: expected bool for " +
+                                    spec.name());
+      return v.as_bool();
+  }
+  throw std::logic_error("session: unreachable");
+}
+
+}  // namespace
+
+std::string trials_to_json(std::span<const Trial> trials) {
+  util::JsonArray array;
+  array.reserve(trials.size());
+  for (const Trial& t : trials) {
+    util::JsonObject config;
+    const conf::ConfigSpace* space = t.config.space();
+    if (space == nullptr)
+      throw std::invalid_argument("trials_to_json: unbound config");
+    for (std::size_t i = 0; i < space->num_params(); ++i) {
+      config.emplace(space->param(i).name(),
+                     value_to_json(t.config.value_at(i)));
+    }
+    util::JsonObject outcome;
+    outcome.emplace("feasible", util::JsonValue(t.outcome.feasible));
+    outcome.emplace("aborted", util::JsonValue(t.outcome.aborted));
+    outcome.emplace("failure", util::JsonValue(t.outcome.failure));
+    // Infinity is not representable in JSON; null means "no objective".
+    outcome.emplace("objective",
+                    t.succeeded() ? util::JsonValue(t.outcome.objective)
+                                  : util::JsonValue(nullptr));
+    outcome.emplace("spent_seconds",
+                    util::JsonValue(t.outcome.spent_seconds));
+    outcome.emplace("usd_per_hour", util::JsonValue(t.outcome.usd_per_hour));
+
+    util::JsonObject trial;
+    trial.emplace("config", std::move(config));
+    trial.emplace("outcome", std::move(outcome));
+    array.emplace_back(std::move(trial));
+  }
+  util::JsonObject root;
+  root.emplace("schema", util::JsonValue("autodml.trials.v1"));
+  root.emplace("trials", std::move(array));
+  return util::dump_json(util::JsonValue(std::move(root)), 2);
+}
+
+std::vector<Trial> trials_from_json(std::string_view json,
+                                    const conf::ConfigSpace& space) {
+  const util::JsonValue root = util::parse_json(json);
+  if (!root.is_object() || !root.contains("trials"))
+    throw std::invalid_argument("session: missing trials array");
+  const auto& array = root.at("trials").as_array();
+
+  std::vector<Trial> out;
+  out.reserve(array.size());
+  for (const util::JsonValue& entry : array) {
+    const auto& config_obj = entry.at("config").as_object();
+    conf::Config config = space.default_config();
+    for (const auto& [name, value] : config_obj) {
+      if (!space.contains(name))
+        throw std::invalid_argument("session: unknown parameter " + name);
+      const std::size_t idx = space.index_of(name);
+      config.set_value_at(idx, value_from_json(space.param(idx), value));
+    }
+    space.canonicalize(config);
+    space.validate(config);
+
+    Trial trial;
+    trial.config = std::move(config);
+    const auto& outcome = entry.at("outcome");
+    trial.outcome.feasible = outcome.at("feasible").as_bool();
+    trial.outcome.aborted = outcome.at("aborted").as_bool();
+    trial.outcome.failure = outcome.at("failure").as_string();
+    trial.outcome.objective =
+        outcome.at("objective").is_null()
+            ? std::numeric_limits<double>::infinity()
+            : outcome.at("objective").as_number();
+    trial.outcome.spent_seconds = outcome.at("spent_seconds").as_number();
+    trial.outcome.usd_per_hour = outcome.at("usd_per_hour").as_number();
+    out.push_back(std::move(trial));
+  }
+  return out;
+}
+
+void save_trials(const std::string& path, std::span<const Trial> trials) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_trials: cannot open " + path);
+  file << trials_to_json(trials) << '\n';
+  if (!file) throw std::runtime_error("save_trials: write failed for " + path);
+}
+
+std::vector<Trial> load_trials(const std::string& path,
+                               const conf::ConfigSpace& space) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_trials: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return trials_from_json(buffer.str(), space);
+}
+
+}  // namespace autodml::core

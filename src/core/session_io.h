@@ -1,0 +1,33 @@
+// Tuning-session persistence.
+//
+// Serializes trial histories to JSON so a tuning session can be resumed or
+// used to warm-start a later one (possibly in another process, possibly on
+// a sibling workload). Configurations are stored by parameter *name and
+// value*, not by encoded position, so a saved session survives reordering
+// of parameters as long as names and kinds are stable; loading validates
+// every value against the target space.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tuner_types.h"
+
+namespace autodml::core {
+
+/// Trials -> JSON document (an object with a "trials" array).
+std::string trials_to_json(std::span<const Trial> trials);
+
+/// Parse back against `space`. Throws std::invalid_argument on malformed
+/// documents, unknown parameters, or out-of-range values.
+std::vector<Trial> trials_from_json(std::string_view json,
+                                    const conf::ConfigSpace& space);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+void save_trials(const std::string& path, std::span<const Trial> trials);
+std::vector<Trial> load_trials(const std::string& path,
+                               const conf::ConfigSpace& space);
+
+}  // namespace autodml::core

@@ -1,0 +1,124 @@
+#include "core/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autodml::core {
+
+namespace {
+
+std::unique_ptr<gp::GaussianProcess> make_gp(std::size_t dim,
+                                             const gp::GpOptions& options) {
+  return std::make_unique<gp::GaussianProcess>(
+      std::make_unique<gp::Matern52Ard>(dim), options);
+}
+
+}  // namespace
+
+SurrogateModel::SurrogateModel(const conf::ConfigSpace& space,
+                               SurrogateOptions options, std::uint64_t seed)
+    : space_(&space), options_(options), rng_(seed) {}
+
+void SurrogateModel::update(std::span<const Trial> trials) {
+  const std::size_t dim = space_->encoded_dimension();
+
+  std::vector<math::Vec> ok_x, all_x, cost_x;
+  std::vector<double> ok_y, feas_y, cost_y;
+  std::vector<double> real_y;  // completed runs only: defines the incumbent
+  for (const Trial& t : trials) {
+    const math::Vec x = space_->encode(t.config);
+    all_x.push_back(x);
+    feas_y.push_back(t.outcome.feasible ? 0.0 : 1.0);
+    if (t.succeeded()) {
+      ok_x.push_back(x);
+      ok_y.push_back(std::log(std::max(t.outcome.objective, 1e-9)));
+      real_y.push_back(ok_y.back());
+    } else if (t.outcome.aborted &&
+               std::isfinite(t.outcome.projected_objective)) {
+      // Censored pseudo-observation: the early-termination projection of
+      // where the killed run was heading. Without this, aborted trials
+      // teach the objective model nothing and the tuner re-proposes near
+      // them.
+      ok_x.push_back(x);
+      ok_y.push_back(std::log(std::max(t.outcome.projected_objective, 1e-9)));
+    }
+    if (!t.outcome.aborted && t.outcome.spent_seconds > 0.0) {
+      cost_x.push_back(x);
+      cost_y.push_back(std::log(t.outcome.spent_seconds));
+    }
+  }
+
+  const bool full_hyperopt =
+      (updates_since_hyperopt_ % std::max(1, options_.hyperopt_every)) == 0;
+  ++updates_since_hyperopt_;
+
+  const auto fit_one = [&](std::unique_ptr<gp::GaussianProcess>& model,
+                           const std::vector<math::Vec>& xs,
+                           const std::vector<double>& ys) {
+    if (xs.size() < 2) {
+      model.reset();
+      return;
+    }
+    math::Matrix x(xs.size(), dim);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      std::copy(xs[i].begin(), xs[i].end(), x.row(i).begin());
+    }
+    if (!model) model = make_gp(dim, options_.gp);
+    if (full_hyperopt) {
+      model->fit(x, ys, rng_);
+    } else {
+      model->refit(x, ys);
+    }
+  };
+
+  fit_one(objective_gp_, ok_x, ok_y);
+  fit_one(cost_gp_, cost_x, cost_y);
+
+  // Feasibility model only earns its keep once failures exist; a constant
+  // label vector would just burn a GP fit.
+  const double failures =
+      std::count(feas_y.begin(), feas_y.end(), 1.0);
+  feasible_fraction_ =
+      feas_y.empty() ? 1.0
+                     : 1.0 - failures / static_cast<double>(feas_y.size());
+  if (failures > 0 && feas_y.size() >= 3) {
+    fit_one(feasibility_gp_, all_x, feas_y);
+  } else {
+    feasibility_gp_.reset();
+  }
+
+  if (!real_y.empty()) {
+    incumbent_log_ = *std::min_element(real_y.begin(), real_y.end());
+  }
+}
+
+SurrogateScore SurrogateModel::score(const conf::Config& config) const {
+  if (!ready()) throw std::logic_error("SurrogateModel: not ready");
+  const math::Vec x = space_->encode(config);
+  SurrogateScore out;
+  const gp::GpPrediction obj = objective_gp_->predict(x);
+  out.mean = obj.mean;
+  out.variance = obj.variance;
+  if (feasibility_gp_ && feasibility_gp_->is_fitted()) {
+    // Regression on the 0/1 label; clamp the posterior mean into a
+    // probability. Cheap and well-behaved for spatially coherent failures.
+    const gp::GpPrediction feas = feasibility_gp_->predict(x);
+    out.prob_feasible = std::clamp(1.0 - feas.mean, 0.02, 1.0);
+  } else {
+    out.prob_feasible = std::clamp(feasible_fraction_, 0.02, 1.0);
+  }
+  if (cost_gp_ && cost_gp_->is_fitted()) {
+    out.log_cost = cost_gp_->predict(x).mean;
+  }
+  return out;
+}
+
+math::Vec SurrogateModel::ard_relevance() const {
+  if (!ready()) return {};
+  const auto* ard =
+      dynamic_cast<const gp::ArdKernelBase*>(&objective_gp_->kernel());
+  if (ard == nullptr) return {};
+  return ard->inverse_lengthscales();
+}
+
+}  // namespace autodml::core

@@ -1,0 +1,76 @@
+// Surrogate model over the encoded configuration space.
+//
+// Three coupled GPs, mirroring what the paper's tuner must track:
+//   - objective GP on log(objective) of successful trials — the response
+//     surface spans decades, so the log transform is what makes a
+//     stationary kernel plausible;
+//   - feasibility GP on a 0/1 failure indicator over *all* trials (OOM and
+//     divergence regions are spatially coherent, so the tuner can learn to
+//     avoid paying for them);
+//   - cost GP on log(evaluation cost) of completed trials, feeding the
+//     EI-per-cost acquisition (CherryPick-style cost awareness).
+// Aborted runs contribute to feasibility (they did not crash) but not to
+// the objective model (their final value is censored).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "config/config_space.h"
+#include "core/tuner_types.h"
+#include "gp/gp.h"
+
+namespace autodml::core {
+
+struct SurrogateOptions {
+  /// Refit GP hyperparameters every k updates (1 = always). Factorization
+  /// with existing hyperparameters happens on every update regardless.
+  int hyperopt_every = 1;
+  gp::GpOptions gp;
+};
+
+struct SurrogateScore {
+  double mean = 0.0;          // posterior mean of log objective
+  double variance = 0.0;
+  double prob_feasible = 1.0;
+  double log_cost = 0.0;      // posterior mean of log evaluation cost
+};
+
+class SurrogateModel {
+ public:
+  SurrogateModel(const conf::ConfigSpace& space, SurrogateOptions options,
+                 std::uint64_t seed);
+
+  /// Rebuild from the full trial history (idempotent).
+  void update(std::span<const Trial> trials);
+
+  /// True once at least two successful trials exist (enough to predict).
+  bool ready() const { return objective_gp_ && objective_gp_->is_fitted(); }
+
+  /// Posterior at a configuration. Requires ready().
+  SurrogateScore score(const conf::Config& config) const;
+
+  /// Best (lowest) observed log objective. Requires ready().
+  double incumbent_log() const { return incumbent_log_; }
+
+  /// ARD relevance per encoded coordinate of the objective GP (empty until
+  /// ready()); used by the sensitivity experiment.
+  math::Vec ard_relevance() const;
+
+  const conf::ConfigSpace& space() const { return *space_; }
+
+ private:
+  const conf::ConfigSpace* space_;
+  SurrogateOptions options_;
+  util::Rng rng_;
+  int updates_since_hyperopt_ = 0;
+
+  std::unique_ptr<gp::GaussianProcess> objective_gp_;
+  std::unique_ptr<gp::GaussianProcess> feasibility_gp_;
+  std::unique_ptr<gp::GaussianProcess> cost_gp_;
+  double incumbent_log_ = 0.0;
+  double feasible_fraction_ = 1.0;
+};
+
+}  // namespace autodml::core

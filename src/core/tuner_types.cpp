@@ -1,0 +1,15 @@
+#include "core/tuner_types.h"
+
+namespace autodml::core {
+
+void record_trial(TuningResult& result, Trial trial) {
+  result.total_spent_seconds += trial.outcome.spent_seconds;
+  if (trial.succeeded() && trial.outcome.objective < result.best_objective) {
+    result.best_objective = trial.outcome.objective;
+    result.best_config = trial.config;
+  }
+  result.trials.push_back(std::move(trial));
+  result.incumbent_curve.push_back(result.best_objective);
+}
+
+}  // namespace autodml::core

@@ -1,0 +1,86 @@
+// Core tuner types: the black-box interface the tuner optimizes, and the
+// trial/result records it produces.
+//
+// The tuner is deliberately decoupled from the distributed-ML evaluator: it
+// sees only a ConfigSpace and an ObjectiveFunction that runs a config and
+// streams checkpoints to an optional RunController (the hook early
+// termination plugs into). src/workloads provides the adapter that binds
+// this interface to the simulated training jobs.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "config/config_space.h"
+
+namespace autodml::core {
+
+struct RunCheckpoint {
+  double wall_seconds = 0.0;
+  double samples = 0.0;
+  double metric = 0.0;
+};
+
+/// Decides, checkpoint by checkpoint, whether a run should be aborted.
+class RunController {
+ public:
+  virtual ~RunController() = default;
+  /// Called once when the run starts (before any checkpoint).
+  virtual void on_run_start(double usd_per_hour) { (void)usd_per_hour; }
+  /// Return true to abort the run at this checkpoint.
+  virtual bool should_abort(const RunCheckpoint& checkpoint) = 0;
+};
+
+struct RunOutcome {
+  bool feasible = false;   // false: crashed (OOM) or diverged
+  bool aborted = false;    // true: controller killed it
+  std::string failure;
+  double objective = std::numeric_limits<double>::infinity();
+  double spent_seconds = 0.0;  // evaluation cost actually paid
+  double usd_per_hour = 0.0;
+  /// For aborted runs: the early-termination policy's unbiased projection
+  /// of where the run would have ended. The surrogate uses it as a
+  /// censored pseudo-observation so killed runs still inform the model.
+  double projected_objective = std::numeric_limits<double>::infinity();
+};
+
+/// The black box: configuration in, (possibly aborted) outcome out.
+class ObjectiveFunction {
+ public:
+  virtual ~ObjectiveFunction() = default;
+  virtual const conf::ConfigSpace& space() const = 0;
+  /// Run one evaluation. `controller` may be nullptr (run to completion).
+  virtual RunOutcome run(const conf::Config& config,
+                         RunController* controller) = 0;
+  /// Metric value checkpoints must reach (drives early termination).
+  virtual double target_metric() const = 0;
+  /// True when the objective is dollars rather than seconds.
+  virtual bool objective_is_cost() const { return false; }
+};
+
+struct Trial {
+  conf::Config config;
+  RunOutcome outcome;
+
+  bool succeeded() const { return outcome.feasible && !outcome.aborted; }
+};
+
+struct TuningResult {
+  std::vector<Trial> trials;  // chronological
+  conf::Config best_config;
+  double best_objective = std::numeric_limits<double>::infinity();
+  /// best_objective after each trial (infinity until first success).
+  std::vector<double> incumbent_curve;
+  double total_spent_seconds = 0.0;
+
+  bool found_feasible() const {
+    return best_objective < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Shared helper: fold a finished trial into the result record.
+void record_trial(TuningResult& result, Trial trial);
+
+}  // namespace autodml::core

@@ -1,0 +1,245 @@
+#include "gp/gp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace autodml::gp {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093454836;
+
+void clamp_to_bounds(std::span<double> x, std::span<const double> lo,
+                     std::span<const double> hi) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+  }
+}
+}  // namespace
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
+                                 GpOptions options)
+    : kernel_(std::move(kernel)),
+      options_(options),
+      log_noise_(std::log(options.initial_noise)) {
+  if (!kernel_) throw std::invalid_argument("GaussianProcess: null kernel");
+}
+
+GaussianProcess::GaussianProcess(const GaussianProcess& other)
+    : kernel_(other.kernel_->clone()),
+      options_(other.options_),
+      log_noise_(other.log_noise_),
+      x_(other.x_),
+      targets_raw_(other.targets_raw_),
+      targets_std_(other.targets_std_),
+      y_mean_(other.y_mean_),
+      y_scale_(other.y_scale_),
+      factor_(other.factor_),
+      alpha_(other.alpha_) {}
+
+math::Vec GaussianProcess::packed_hypers() const {
+  math::Vec packed = kernel_->hyperparams();
+  packed.push_back(log_noise_);
+  return packed;
+}
+
+void GaussianProcess::apply_packed(std::span<const double> packed) {
+  kernel_->set_hyperparams(packed.subspan(0, packed.size() - 1));
+  log_noise_ = packed.back();
+}
+
+GaussianProcess::LmlResult GaussianProcess::negative_lml(
+    std::span<const double> packed) const {
+  // Evaluate on a scratch clone so the public state stays untouched.
+  auto k = kernel_->clone();
+  k->set_hyperparams(packed.subspan(0, packed.size() - 1));
+  const double noise_var = std::exp(packed.back());
+
+  const std::size_t n = targets_std_.size();
+  math::Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = k->eval(x_.row(i), x_.row(j));
+      gram(i, j) = v;
+      gram(j, i) = v;
+    }
+    gram(i, i) += noise_var;
+  }
+
+  LmlResult out;
+  out.grad.assign(packed.size(), 0.0);
+  math::CholeskyFactor factor;
+  try {
+    factor = math::cholesky_with_jitter(gram);
+  } catch (const std::runtime_error&) {
+    out.value = 1e100;  // reject this hyperparameter point
+    return out;
+  }
+  const math::Vec alpha = factor.solve(targets_std_);
+  const double fit_term = 0.5 * math::dot(targets_std_, alpha);
+  const double lml = -fit_term - 0.5 * factor.log_det() -
+                     0.5 * static_cast<double>(n) * kLog2Pi;
+  out.value = -lml;
+
+  // Gradient: dLML/dtheta = 0.5 tr((alpha alpha^T - K^{-1}) dK/dtheta).
+  // Build K^{-1} explicitly (n is small by design).
+  math::Matrix kinv(n, n);
+  {
+    math::Vec e(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      e[j] = 1.0;
+      const math::Vec col = factor.solve(e);
+      for (std::size_t i = 0; i < n; ++i) kinv(i, j) = col[i];
+      e[j] = 0.0;
+    }
+  }
+  const std::size_t n_kernel = packed.size() - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double w = alpha[i] * alpha[j] - kinv(i, j);
+      const math::Vec dk = k->grad_hyper(x_.row(i), x_.row(j));
+      for (std::size_t t = 0; t < n_kernel; ++t) {
+        out.grad[t] += -0.5 * w * dk[t];  // negative LML
+      }
+      if (i == j) out.grad[n_kernel] += -0.5 * w * noise_var;
+    }
+  }
+  return out;
+}
+
+void GaussianProcess::factorize() {
+  const std::size_t n = targets_std_.size();
+  const double noise_var = std::exp(log_noise_);
+  math::Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel_->eval(x_.row(i), x_.row(j));
+      gram(i, j) = v;
+      gram(j, i) = v;
+    }
+    gram(i, i) += noise_var;
+  }
+  factor_ = math::cholesky_with_jitter(gram);
+  alpha_ = factor_->solve(targets_std_);
+}
+
+void GaussianProcess::refit(const math::Matrix& x, std::span<const double> y) {
+  if (x.rows() != y.size())
+    throw std::invalid_argument("GaussianProcess: X/y size mismatch");
+  if (x.rows() == 0)
+    throw std::invalid_argument("GaussianProcess: empty training set");
+  if (x.cols() != kernel_->input_dim())
+    throw std::invalid_argument("GaussianProcess: input dimension mismatch");
+  x_ = x;
+  targets_raw_.assign(y.begin(), y.end());
+  if (options_.standardize_targets) {
+    y_mean_ = util::mean(y);
+    const double sd = util::stddev(y);
+    y_scale_ = sd > 1e-12 ? sd : 1.0;
+  } else {
+    y_mean_ = 0.0;
+    y_scale_ = 1.0;
+  }
+  targets_std_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    targets_std_[i] = (y[i] - y_mean_) / y_scale_;
+  }
+  factorize();
+}
+
+void GaussianProcess::fit(const math::Matrix& x, std::span<const double> y,
+                          util::Rng& rng) {
+  refit(x, y);
+  if (!options_.optimize_hyperparams || y.size() < 3) return;
+
+  auto [kernel_lo, kernel_hi] = kernel_->hyper_bounds();
+  math::Vec lo = kernel_lo, hi = kernel_hi;
+  lo.push_back(std::log(options_.noise_lo));
+  hi.push_back(std::log(options_.noise_hi));
+
+  const auto objective_grad = [&](std::span<const double> theta,
+                                  std::span<double> grad) {
+    math::Vec projected(theta.begin(), theta.end());
+    clamp_to_bounds(projected, lo, hi);
+    const LmlResult r = negative_lml(projected);
+    std::copy(r.grad.begin(), r.grad.end(), grad.begin());
+    return r.value;
+  };
+  const auto objective = [&](std::span<const double> theta) {
+    math::Vec projected(theta.begin(), theta.end());
+    clamp_to_bounds(projected, lo, hi);
+    return negative_lml(projected).value;
+  };
+
+  math::AdamOptions adam_opts;
+  adam_opts.max_iterations = options_.adam_iterations;
+
+  math::Vec best_theta = packed_hypers();
+  clamp_to_bounds(best_theta, lo, hi);
+  double best_value = objective(best_theta);
+
+  for (int restart = 0; restart <= options_.restarts; ++restart) {
+    math::Vec start;
+    if (restart == 0) {
+      start = best_theta;  // warm start from current hyperparameters
+    } else {
+      start.resize(lo.size());
+      for (std::size_t i = 0; i < lo.size(); ++i) {
+        start[i] = rng.uniform(lo[i], hi[i]);
+      }
+    }
+    const auto result = math::adam(objective_grad, start, adam_opts);
+    math::Vec candidate = result.x;
+    clamp_to_bounds(candidate, lo, hi);
+    const double value = objective(candidate);
+    if (value < best_value) {
+      best_value = value;
+      best_theta = candidate;
+    }
+  }
+
+  if (options_.polish_iterations > 0) {
+    math::NelderMeadOptions nm;
+    nm.max_iterations = options_.polish_iterations;
+    nm.initial_step = 0.2;
+    const auto polished = math::nelder_mead(objective, best_theta, nm);
+    math::Vec candidate = polished.x;
+    clamp_to_bounds(candidate, lo, hi);
+    if (polished.value < best_value) best_theta = candidate;
+  }
+
+  apply_packed(best_theta);
+  factorize();
+}
+
+GpPrediction GaussianProcess::predict(std::span<const double> x) const {
+  if (!factor_) throw std::logic_error("GaussianProcess: predict before fit");
+  const std::size_t n = targets_std_.size();
+  math::Vec k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel_->eval(x_.row(i), x);
+
+  const double mean_std = math::dot(k_star, alpha_);
+  const math::Vec v = factor_->solve_lower(k_star);
+  const double k_xx = kernel_->eval(x, x);
+  const double var_std = std::max(0.0, k_xx - math::dot(v, v));
+
+  GpPrediction out;
+  out.mean = mean_std * y_scale_ + y_mean_;
+  out.variance = var_std * y_scale_ * y_scale_;
+  return out;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  if (!factor_) throw std::logic_error("GaussianProcess: LML before fit");
+  const double fit_term = 0.5 * math::dot(targets_std_, alpha_);
+  return -fit_term - 0.5 * factor_->log_det() -
+         0.5 * static_cast<double>(targets_std_.size()) * kLog2Pi;
+}
+
+double GaussianProcess::noise_variance() const {
+  return std::exp(log_noise_) * y_scale_ * y_scale_;
+}
+
+}  // namespace autodml::gp

@@ -1,0 +1,92 @@
+// Exact Gaussian-process regression.
+//
+// The tuner's surrogate. Targets are standardized internally; the noise
+// variance is a hyperparameter fitted jointly with the kernel's by maximizing
+// the log marginal likelihood (analytic gradients + multi-start Adam, with a
+// Nelder-Mead polish). History sizes in configuration tuning are small
+// (tens to a few hundred points), so exact O(n^3) inference is the right
+// trade-off — no sparse approximations.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "gp/kernel.h"
+#include "math/cholesky.h"
+#include "math/matrix.h"
+#include "math/optimize.h"
+#include "util/rng.h"
+
+namespace autodml::gp {
+
+struct GpOptions {
+  bool standardize_targets = true;
+  bool optimize_hyperparams = true;
+  int restarts = 2;             // additional random restarts beyond current
+  int adam_iterations = 120;
+  int polish_iterations = 80;   // Nelder-Mead after the best Adam run
+  double noise_lo = 1e-8;       // bounds for the noise-variance hyperparameter
+  double noise_hi = 1.0;        //   (in standardized target units)
+  double initial_noise = 1e-2;
+};
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  // latent (noise-free) predictive variance
+};
+
+class GaussianProcess {
+ public:
+  GaussianProcess(std::unique_ptr<Kernel> kernel, GpOptions options = {});
+
+  GaussianProcess(const GaussianProcess& other);
+  GaussianProcess& operator=(const GaussianProcess&) = delete;
+
+  /// Fit on rows of X (n x dim) with targets y (n). Optimizes
+  /// hyperparameters unless disabled, then factorizes.
+  void fit(const math::Matrix& x, std::span<const double> y, util::Rng& rng);
+
+  /// Replace the data but keep current hyperparameters (cheap refit used
+  /// between full re-optimizations).
+  void refit(const math::Matrix& x, std::span<const double> y);
+
+  bool is_fitted() const { return factor_.has_value(); }
+  std::size_t num_points() const { return targets_raw_.size(); }
+
+  GpPrediction predict(std::span<const double> x) const;
+
+  /// Log marginal likelihood of the current fit (standardized target units).
+  double log_marginal_likelihood() const;
+
+  /// Fitted noise variance, in *raw* target units.
+  double noise_variance() const;
+
+  const Kernel& kernel() const { return *kernel_; }
+
+ private:
+  struct LmlResult {
+    double value;
+    math::Vec grad;  // w.r.t. [kernel log-hypers..., log noise]
+  };
+
+  /// Negative LML and gradient at the given packed log-hyperparameters.
+  LmlResult negative_lml(std::span<const double> packed) const;
+  void factorize();
+  math::Vec packed_hypers() const;
+  void apply_packed(std::span<const double> packed);
+
+  std::unique_ptr<Kernel> kernel_;
+  GpOptions options_;
+  double log_noise_;
+
+  math::Matrix x_;
+  math::Vec targets_raw_;
+  math::Vec targets_std_;  // standardized
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+
+  std::optional<math::CholeskyFactor> factor_;
+  math::Vec alpha_;  // (K + sigma^2 I)^{-1} y_std
+};
+
+}  // namespace autodml::gp

@@ -1,0 +1,86 @@
+#include "math/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autodml::math {
+
+Vec CholeskyFactor::solve_lower(std::span<const double> b) const {
+  const std::size_t n = lower.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_lower: size mismatch");
+  Vec y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lower(i, j) * y[j];
+    y[i] = acc / lower(i, i);
+  }
+  return y;
+}
+
+Vec CholeskyFactor::solve_upper(std::span<const double> y) const {
+  const std::size_t n = lower.rows();
+  if (y.size() != n) throw std::invalid_argument("solve_upper: size mismatch");
+  Vec x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lower(j, i) * x[j];
+    x[i] = acc / lower(i, i);
+  }
+  return x;
+}
+
+Vec CholeskyFactor::solve(std::span<const double> b) const {
+  return solve_upper(solve_lower(b));
+}
+
+double CholeskyFactor::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < lower.rows(); ++i) {
+    acc += std::log(lower(i, i));
+  }
+  return 2.0 * acc;
+}
+
+std::optional<CholeskyFactor> cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return CholeskyFactor{std::move(l), 0.0};
+}
+
+CholeskyFactor cholesky_with_jitter(const Matrix& a, double initial_jitter,
+                                    int max_tries) {
+  if (auto f = cholesky(a)) return *f;
+  // Scale the jitter to the problem: use the mean diagonal magnitude.
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) mean_diag += std::abs(a(i, i));
+  mean_diag = a.rows() ? mean_diag / static_cast<double>(a.rows()) : 1.0;
+  if (mean_diag == 0.0) mean_diag = 1.0;
+
+  double jitter = initial_jitter * mean_diag;
+  for (int attempt = 0; attempt < max_tries; ++attempt, jitter *= 10.0) {
+    Matrix boosted = a;
+    boosted.add_to_diagonal(jitter);
+    if (auto f = cholesky(boosted)) {
+      f->jitter = jitter;
+      return *f;
+    }
+  }
+  throw std::runtime_error(
+      "cholesky_with_jitter: matrix not PD even with maximum jitter");
+}
+
+}  // namespace autodml::math

@@ -1,0 +1,38 @@
+// Cholesky factorization and SPD solves.
+//
+// The GP posterior and log-marginal-likelihood both reduce to solves against
+// K + sigma^2 I. Kernel matrices are only *numerically* SPD, so the factory
+// retries with geometrically increasing diagonal jitter before giving up.
+#pragma once
+
+#include <optional>
+
+#include "math/matrix.h"
+
+namespace autodml::math {
+
+struct CholeskyFactor {
+  Matrix lower;        // L such that L * L^T = A (+ jitter*I)
+  double jitter = 0.0; // diagonal boost that was required (0 if none)
+
+  /// Solve L y = b.
+  Vec solve_lower(std::span<const double> b) const;
+  /// Solve L^T x = y.
+  Vec solve_upper(std::span<const double> y) const;
+  /// Solve (L L^T) x = b.
+  Vec solve(std::span<const double> b) const;
+  /// log det(L L^T) = 2 * sum log L_ii.
+  double log_det() const;
+};
+
+/// Plain factorization; returns nullopt if A is not positive definite.
+std::optional<CholeskyFactor> cholesky(const Matrix& a);
+
+/// Factorization with adaptive jitter: tries jitter = 0, then
+/// `initial_jitter * 10^k` for k = 0..max_tries-1 (scaled by mean diagonal).
+/// Throws std::runtime_error if all attempts fail.
+CholeskyFactor cholesky_with_jitter(const Matrix& a,
+                                    double initial_jitter = 1e-10,
+                                    int max_tries = 8);
+
+}  // namespace autodml::math

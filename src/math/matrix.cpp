@@ -1,0 +1,107 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autodml::math {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vec scaled(std::span<const double> x, double alpha) {
+  Vec out(x.begin(), x.end());
+  for (double& v : out) v *= alpha;
+  return out;
+}
+
+Vec added(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("added: size mismatch");
+  Vec out(a.begin(), a.end());
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Vec subtracted(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("subtracted: size mismatch");
+  Vec out(a.begin(), a.end());
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_)
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vec Matrix::matvec(std::span<const double> v) const {
+  if (v.size() != cols_) throw std::invalid_argument("matvec: size mismatch");
+  Vec out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), v);
+  return out;
+}
+
+Vec Matrix::matvec_transposed(std::span<const double> v) const {
+  if (v.size() != rows_)
+    throw std::invalid_argument("matvec_transposed: size mismatch");
+  Vec out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double a = v[i];
+    if (a == 0.0) continue;
+    axpy(a, row(i), out);
+  }
+  return out;
+}
+
+void Matrix::add_to_diagonal(double value) {
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace autodml::math

@@ -1,0 +1,77 @@
+// Dense row-major matrix and vector helpers.
+//
+// Deliberately minimal: the GP library needs SPD factorization, triangular
+// solves, mat-vec/mat-mat products, and elementwise vector arithmetic —
+// nothing else — so we keep the surface small rather than growing a general
+// linear-algebra package.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace autodml::math {
+
+using Vec = std::vector<double>;
+
+// ---- Vector helpers ------------------------------------------------------
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);           // Euclidean norm
+void axpy(double alpha, std::span<const double> x, std::span<double> y);  // y += alpha*x
+Vec scaled(std::span<const double> x, double alpha);
+Vec added(std::span<const double> a, std::span<const double> b);
+Vec subtracted(std::span<const double> a, std::span<const double> b);
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const;
+
+  /// this * other.
+  Matrix matmul(const Matrix& other) const;
+
+  /// this * v.
+  Vec matvec(std::span<const double> v) const;
+
+  /// this^T * v.
+  Vec matvec_transposed(std::span<const double> v) const;
+
+  void add_to_diagonal(double value);
+
+  /// Max |a_ij - b_ij|.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace autodml::math

@@ -1,0 +1,63 @@
+// Generic numeric optimizers.
+//
+// Three consumers: GP hyperparameter fitting maximizes the log-marginal
+// likelihood (Adam on analytic gradients, restarted, then polished with
+// Nelder-Mead); learning-curve extrapolation fits power laws (Nelder-Mead);
+// acquisition optimization uses its own mixed-space search in src/core.
+#pragma once
+
+#include <functional>
+
+#include "math/matrix.h"
+#include "util/rng.h"
+
+namespace autodml::math {
+
+/// Objective returning just a value (derivative-free methods).
+using Objective = std::function<double(std::span<const double>)>;
+
+/// Objective returning value and writing the gradient into `grad`.
+using GradObjective =
+    std::function<double(std::span<const double>, std::span<double> grad)>;
+
+struct OptResult {
+  Vec x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct NelderMeadOptions {
+  int max_iterations = 500;
+  double initial_step = 0.5;   // simplex edge length
+  double f_tolerance = 1e-9;   // stop when simplex f-spread below this
+  double x_tolerance = 1e-9;   // stop when simplex x-spread below this
+};
+
+/// Minimize f starting from x0 (Nelder-Mead downhill simplex).
+OptResult nelder_mead(const Objective& f, std::span<const double> x0,
+                      const NelderMeadOptions& options = {});
+
+struct AdamOptions {
+  int max_iterations = 200;
+  double learning_rate = 0.05;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double grad_tolerance = 1e-6;  // stop when ||grad||_inf below this
+};
+
+/// Minimize f starting from x0 (Adam on the provided analytic gradient).
+OptResult adam(const GradObjective& f, std::span<const double> x0,
+               const AdamOptions& options = {});
+
+/// Minimize a unimodal 1-D function on [lo, hi] by golden-section search.
+OptResult golden_section(const std::function<double(double)>& f, double lo,
+                         double hi, double tolerance = 1e-8,
+                         int max_iterations = 200);
+
+/// Central-difference numerical gradient (for tests and fallbacks).
+Vec numerical_gradient(const Objective& f, std::span<const double> x,
+                       double h = 1e-6);
+
+}  // namespace autodml::math

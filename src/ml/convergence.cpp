@@ -1,0 +1,100 @@
+#include "ml/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace autodml::ml {
+
+double effective_batch(sim::SyncMode mode, int num_workers,
+                       int batch_per_worker) {
+  if (num_workers < 1 || batch_per_worker < 1)
+    throw std::invalid_argument("effective_batch: bad counts");
+  if (mode == sim::SyncMode::kBsp) {
+    return static_cast<double>(num_workers) *
+           static_cast<double>(batch_per_worker);
+  }
+  return static_cast<double>(batch_per_worker);
+}
+
+double staleness_updates(sim::SyncMode mode,
+                         double mean_staleness_iterations, int num_workers) {
+  if (mode == sim::SyncMode::kBsp) return 0.0;
+  if (mean_staleness_iterations < 0.0)
+    throw std::invalid_argument("staleness_updates: negative staleness");
+  return mean_staleness_iterations * static_cast<double>(num_workers);
+}
+
+StatOutcome samples_to_target(const StatModelParams& params,
+                              double effective_batch, double mean_staleness,
+                              double learning_rate,
+                              sim::Compression compression,
+                              util::Rng& noise_rng) {
+  if (effective_batch < 1.0)
+    throw std::invalid_argument("samples_to_target: effective batch < 1");
+  if (learning_rate <= 0.0)
+    throw std::invalid_argument("samples_to_target: non-positive lr");
+  if (mean_staleness < 0.0)
+    throw std::invalid_argument("samples_to_target: negative staleness");
+  if (params.metric_ceiling <= params.target_metric)
+    throw std::invalid_argument("samples_to_target: ceiling <= target");
+
+  StatOutcome out;
+  out.effective_batch = effective_batch;
+
+  // Linear LR scaling with effective batch, capped; staleness shrinks the
+  // usable LR (delayed gradients act like extra curvature).
+  const double scale = std::min(effective_batch / params.reference_batch,
+                                params.lr_scaling_cap);
+  out.lr_optimal = params.base_lr * scale /
+                   (1.0 + 0.15 * std::pow(mean_staleness, 1.1));
+
+  // Divergence: a hard cliff above a multiple of the optimal LR.
+  if (learning_rate > params.divergence_margin * out.lr_optimal) {
+    out.diverged = true;
+    out.samples_to_target = std::numeric_limits<double>::max();
+    return out;
+  }
+
+  const double batch_term = 1.0 + effective_batch / params.critical_batch;
+  const double stale_term =
+      1.0 + params.staleness_coeff *
+                std::pow(mean_staleness, params.staleness_power);
+  const double log_ratio = std::log(learning_rate / out.lr_optimal);
+  const double lr_term = std::exp(params.lr_sensitivity * log_ratio * log_ratio);
+  if (lr_term > params.lr_penalty_cap) {
+    // So mis-tuned it makes no visible progress; counts as a failed run.
+    out.diverged = true;
+    out.samples_to_target = std::numeric_limits<double>::max();
+    return out;
+  }
+  const double comp_term =
+      sim::compression_props(compression).sample_penalty;
+
+  const double noise =
+      params.eval_noise_sigma > 0.0
+          ? noise_rng.lognormal_median(1.0, params.eval_noise_sigma)
+          : 1.0;
+
+  out.samples_to_target = params.base_samples * batch_term * stale_term *
+                          lr_term * comp_term * noise;
+  return out;
+}
+
+double metric_at(const StatModelParams& params, double samples,
+                 double samples_to_target) {
+  if (samples < 0.0 || samples_to_target <= 0.0)
+    throw std::invalid_argument("metric_at: bad arguments");
+  // acc(s) = ceiling - (ceiling - initial) * (1 + s/h)^(-gamma), with h
+  // chosen so that acc(samples_to_target) == target exactly.
+  const double r = (params.metric_ceiling - params.target_metric) /
+                   (params.metric_ceiling - params.initial_metric);
+  const double h =
+      samples_to_target / (std::pow(r, -1.0 / params.curve_gamma) - 1.0);
+  return params.metric_ceiling -
+         (params.metric_ceiling - params.initial_metric) *
+             std::pow(1.0 + samples / h, -params.curve_gamma);
+}
+
+}  // namespace autodml::ml

@@ -1,0 +1,82 @@
+// Statistical-efficiency model: how many samples must be processed to reach
+// the target metric, as a function of the *system* configuration.
+//
+// We have no GPUs to train real models on (see DESIGN.md substitutions), so
+// convergence behaviour is generated from the published empirical laws that
+// the paper's search space exhibits:
+//   - critical batch size: samples_to_target grows as (1 + B_eff/B_crit)
+//     (diminishing returns of data parallelism beyond B_crit);
+//   - staleness: asynchronous gradient delay inflates samples needed
+//     polynomially and narrows the stable learning-rate region;
+//   - learning rate: a log-parabolic sensitivity around an optimum that
+//     scales linearly with effective batch up to a cap, with divergence
+//     above a batch- and staleness-dependent threshold;
+//   - lossy gradient compression adds a scheme-specific multiplier.
+// Per-run noise is multiplicative lognormal, so repeated evaluations of one
+// configuration disagree — the tuner must be noise-aware.
+// The shape (not the constants) is cross-validated against a real
+// logistic-regression trainer in micro_trainer.h (experiment R-T6).
+#pragma once
+
+#include "sim/job.h"
+#include "util/rng.h"
+
+namespace autodml::ml {
+
+struct StatModelParams {
+  double base_samples = 1e6;     // samples to target at B_eff<<B_crit, opt lr
+  double critical_batch = 512;   // B_crit
+  double staleness_coeff = 0.06; // penalty = 1 + c * staleness^p (update units)
+  double staleness_power = 1.15;
+  double lr_sensitivity = 0.35;  // exp(k * ln^2(lr / lr_opt))
+  double base_lr = 0.05;         // optimal at reference_batch, staleness 0
+  double reference_batch = 32;
+  double lr_scaling_cap = 8.0;   // lr_opt growth cap (x base_lr)
+  double divergence_margin = 12.0;  // diverge when lr > margin * lr_opt_eff
+  /// A run whose LR mis-tuning would inflate samples-to-target beyond this
+  /// factor is reported as failed ("no progress within patience") — in
+  /// practice nobody lets a 50x-too-slow run finish, and an unbounded
+  /// penalty would make the space spread physically implausible.
+  double lr_penalty_cap = 50.0;
+  double eval_noise_sigma = 0.05;   // lognormal noise on samples needed
+  double target_metric = 0.92;
+  double initial_metric = 0.10;
+  double metric_ceiling = 0.97;  // asymptote; must exceed target_metric
+  double curve_gamma = 1.4;      // power-law tail of the learning curve
+};
+
+struct StatOutcome {
+  bool diverged = false;
+  double samples_to_target = 0.0;  // noisy; infinity never returned
+  double effective_batch = 0.0;
+  double lr_optimal = 0.0;         // diagnostics for tests/benches
+};
+
+/// Effective batch per model update: BSP aggregates all workers' batches,
+/// ASP/SSP apply per-worker batches individually.
+double effective_batch(sim::SyncMode mode, int num_workers,
+                       int batch_per_worker);
+
+/// Staleness in *update* units — the units the penalty (and the delayed-
+/// gradient micro-trainer that validates it) is calibrated in. The runtime
+/// reports mean staleness in iteration rounds; each round is num_workers
+/// updates. BSP is zero by construction.
+double staleness_updates(sim::SyncMode mode, double mean_staleness_iterations,
+                         int num_workers);
+
+/// Samples that must be processed to reach the target metric. `noise_rng`
+/// supplies the per-run noise; pass a fixed-seed Rng to make a run
+/// reproducible. Divergence is deterministic in the inputs.
+StatOutcome samples_to_target(const StatModelParams& params,
+                              double effective_batch, double mean_staleness,
+                              double learning_rate,
+                              sim::Compression compression,
+                              util::Rng& noise_rng);
+
+/// Metric value after `samples` processed for a run that reaches the target
+/// after `samples_to_target`. Monotone in samples; metric_at(0) =
+/// initial_metric and metric_at(samples_to_target) = target_metric.
+double metric_at(const StatModelParams& params, double samples,
+                 double samples_to_target);
+
+}  // namespace autodml::ml

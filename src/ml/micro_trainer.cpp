@@ -1,0 +1,157 @@
+#include "ml/micro_trainer.h"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace autodml::ml {
+
+namespace {
+
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+};
+
+std::vector<double> random_unit_direction(int dim, util::Rng& rng) {
+  std::vector<double> direction(static_cast<std::size_t>(dim));
+  double norm = 0.0;
+  for (auto& d : direction) {
+    d = rng.normal();
+    norm += d * d;
+  }
+  norm = std::sqrt(norm);
+  for (auto& d : direction) d /= norm;
+  return direction;
+}
+
+// Class means at +-separation/2 along the given unit direction. Train and
+// test must share the direction — they are draws from one distribution.
+Dataset make_dataset(int n, int dim, double separation,
+                     const std::vector<double>& direction, util::Rng& rng) {
+  Dataset data;
+  data.x.reserve(static_cast<std::size_t>(n));
+  data.y.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    const double sign = label == 1 ? 0.5 : -0.5;
+    std::vector<double> xi(static_cast<std::size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      xi[static_cast<std::size_t>(d)] =
+          sign * separation * direction[static_cast<std::size_t>(d)] +
+          rng.normal();
+    }
+    data.x.push_back(std::move(xi));
+    data.y.push_back(label);
+  }
+  return data;
+}
+
+double sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double predict_logit(const std::vector<double>& w,
+                     const std::vector<double>& x, double bias) {
+  double z = bias;
+  for (std::size_t d = 0; d < x.size(); ++d) z += w[d] * x[d];
+  return z;
+}
+
+double accuracy(const std::vector<double>& w, double bias,
+                const Dataset& data) {
+  int correct = 0;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    const int pred = predict_logit(w, data.x[i], bias) >= 0.0 ? 1 : 0;
+    if (pred == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.x.size());
+}
+
+}  // namespace
+
+MicroTrainerResult run_micro_trainer(const MicroTrainerConfig& config) {
+  if (config.dim < 1 || config.batch_size < 1 || config.gradient_delay < 0)
+    throw std::invalid_argument("micro_trainer: bad config");
+
+  util::Rng rng(config.seed);
+  const std::vector<double> direction =
+      random_unit_direction(config.dim, rng);
+  const Dataset train = make_dataset(
+      config.train_samples, config.dim, config.class_separation, direction,
+      rng);
+  const Dataset test = make_dataset(config.test_samples, config.dim,
+                                    config.class_separation, direction, rng);
+
+  const auto dim = static_cast<std::size_t>(config.dim);
+  std::vector<double> weights(dim, 0.0);
+  double bias = 0.0;
+
+  struct PendingGradient {
+    std::vector<double> grad_w;
+    double grad_b;
+  };
+  std::deque<PendingGradient> pipeline;
+
+  MicroTrainerResult result;
+  for (int step = 0; step < config.max_steps; ++step) {
+    // Compute gradient at *current* weights; it will be applied
+    // `gradient_delay` steps later (stale by then).
+    PendingGradient pending;
+    pending.grad_w.assign(dim, 0.0);
+    pending.grad_b = 0.0;
+    for (int b = 0; b < config.batch_size; ++b) {
+      const std::size_t i = rng.index(train.x.size());
+      const double p = sigmoid(predict_logit(weights, train.x[i], bias));
+      const double err = p - static_cast<double>(train.y[i]);
+      for (std::size_t d = 0; d < dim; ++d) {
+        pending.grad_w[d] += err * train.x[i][d];
+      }
+      pending.grad_b += err;
+    }
+    const double inv_batch = 1.0 / static_cast<double>(config.batch_size);
+    for (auto& g : pending.grad_w) g *= inv_batch;
+    pending.grad_b *= inv_batch;
+    pipeline.push_back(std::move(pending));
+
+    if (static_cast<int>(pipeline.size()) > config.gradient_delay) {
+      const PendingGradient& apply = pipeline.front();
+      for (std::size_t d = 0; d < dim; ++d) {
+        weights[d] -= config.learning_rate * apply.grad_w[d];
+      }
+      bias -= config.learning_rate * apply.grad_b;
+      pipeline.pop_front();
+    }
+
+    result.samples_processed += config.batch_size;
+    result.steps = step + 1;
+
+    // Divergence guard.
+    double wnorm = std::abs(bias);
+    for (double w : weights) wnorm = std::max(wnorm, std::abs(w));
+    if (!std::isfinite(wnorm) || wnorm > 1e8) {
+      result.diverged = true;
+      result.final_accuracy = 0.5;
+      return result;
+    }
+
+    if ((step + 1) % config.eval_every == 0) {
+      const double acc = accuracy(weights, bias, test);
+      result.final_accuracy = acc;
+      if (acc >= config.target_accuracy) {
+        result.reached_target = true;
+        return result;
+      }
+    }
+  }
+  result.final_accuracy = accuracy(weights, bias, test);
+  result.reached_target = result.final_accuracy >= config.target_accuracy;
+  return result;
+}
+
+}  // namespace autodml::ml

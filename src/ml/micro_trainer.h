@@ -1,0 +1,43 @@
+// A real (not modeled) trainer: logistic regression with delayed gradients.
+//
+// This is the ground truth behind the statistical-efficiency model. It
+// trains an actual logistic-regression classifier on synthetic Gaussian
+// data with plain SGD, but applies each gradient `delay` steps after the
+// weights it was computed from — exactly the effect of asynchronous
+// parameter-server training. Experiment R-T6 sweeps delay and batch size
+// here and checks that the convergence.h laws (staleness penalty monotone,
+// critical-batch diminishing returns) hold for real SGD, not just by fiat.
+#pragma once
+
+#include <cstdint>
+
+namespace autodml::ml {
+
+struct MicroTrainerConfig {
+  int dim = 16;
+  int train_samples = 4000;
+  int test_samples = 2000;
+  // Distance between class means. The Bayes accuracy is Phi(separation/2)
+  // for unit-variance classes, so 3.2 -> ~0.95 ceiling, comfortably above
+  // the default 0.9 target.
+  double class_separation = 3.2;
+  int batch_size = 8;
+  double learning_rate = 0.2;
+  int gradient_delay = 0;  // steps between gradient compute and apply
+  double target_accuracy = 0.9;
+  int max_steps = 50000;
+  int eval_every = 25;
+  std::uint64_t seed = 1;
+};
+
+struct MicroTrainerResult {
+  bool reached_target = false;
+  bool diverged = false;
+  int steps = 0;                 // steps until target (or max_steps)
+  double samples_processed = 0.0;
+  double final_accuracy = 0.0;
+};
+
+MicroTrainerResult run_micro_trainer(const MicroTrainerConfig& config);
+
+}  // namespace autodml::ml

@@ -1,0 +1,157 @@
+#include "sim/allreduce_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/event_queue.h"
+#include "sim/flow_network.h"
+
+namespace autodml::sim {
+
+namespace {
+
+class AllReduceSimulation {
+ public:
+  AllReduceSimulation(const Cluster& cluster, const JobParams& job,
+                      util::Rng& rng, const AllReduceSimOptions& options)
+      : cluster_(cluster),
+        job_(job),
+        options_(options),
+        network_(queue_),
+        fabric_(queue_, network_) {
+    job_.validate();
+    for (const auto& node : cluster_.workers)
+      worker_node_.push_back(fabric_.add_node(node.type.nic_bps()));
+    for (std::size_t i = 0; i < cluster_.workers.size(); ++i)
+      worker_rng_.push_back(rng.split());
+    compression_ = compression_props(job_.compression);
+  }
+
+  RuntimeStats run() {
+    const int total_iterations =
+        options_.warmup_iterations + options_.measure_iterations;
+    start_compute_phase();
+    while (iteration_ < total_iterations && queue_.step()) {
+      if (queue_.now() > options_.max_sim_seconds) break;
+    }
+
+    RuntimeStats stats;
+    stats.completed = iteration_ >= total_iterations;
+    const double t0 = measure_start_time_;
+    const double t1 = queue_.now();
+    const int measured = iteration_ - options_.warmup_iterations;
+    if (measured <= 0 || t1 <= t0) return stats;
+    const auto w = static_cast<double>(cluster_.workers.size());
+    stats.sim_seconds = t1 - t0;
+    // One collective iteration commits W mini-batch contributions.
+    stats.updates_per_second = static_cast<double>(measured) * w / stats.sim_seconds;
+    stats.samples_per_second =
+        stats.updates_per_second * static_cast<double>(job_.batch_per_worker);
+    stats.mean_iteration_seconds =
+        stats.sim_seconds / static_cast<double>(measured);
+    stats.mean_staleness = 0.0;  // synchronous by construction
+    stats.bytes_per_update =
+        measured_bytes_ / (static_cast<double>(measured) * w);
+    stats.blocked_fraction = barrier_wait_sum_ /
+                             std::max(1e-12, stats.sim_seconds * w);
+    return stats;
+  }
+
+ private:
+  void start_compute_phase() {
+    const std::size_t w = cluster_.workers.size();
+    pending_ = static_cast<int>(w);
+    compute_finish_.assign(w, 0.0);
+    for (std::size_t i = 0; i < w; ++i) {
+      const auto& node = cluster_.workers[i];
+      const double flops =
+          static_cast<double>(job_.batch_per_worker) * job_.flops_per_sample +
+          job_.model_bytes * compression_.flops_per_byte;
+      const double base = flops / (node.type.flops() * node.speed_factor);
+      const double duration =
+          base * worker_rng_[i].lognormal_median(1.0, node.jitter_sigma);
+      queue_.schedule_after(duration, [this, i] {
+        compute_finish_[i] = queue_.now();
+        if (--pending_ == 0) on_compute_barrier();
+      });
+    }
+  }
+
+  void on_compute_barrier() {
+    // Straggler accounting: everyone waits for the slowest gradient.
+    if (iteration_ >= options_.warmup_iterations) {
+      const double barrier = queue_.now();
+      for (double t : compute_finish_) barrier_wait_sum_ += barrier - t;
+    }
+    const std::size_t w = cluster_.workers.size();
+    if (w == 1) {
+      finish_iteration();
+      return;
+    }
+    steps_left_ = 2 * (static_cast<int>(w) - 1);
+    run_ring_step();
+  }
+
+  void run_ring_step() {
+    const std::size_t w = cluster_.workers.size();
+    pending_ = static_cast<int>(w);
+    const double chunk_bytes =
+        job_.model_bytes * compression_.push_ratio / static_cast<double>(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::size_t next = (i + 1) % w;
+      if (iteration_ >= options_.warmup_iterations)
+        measured_bytes_ += chunk_bytes;
+      fabric_.send(worker_node_[i], worker_node_[next], chunk_bytes,
+                   job_.per_message_latency, [this] {
+                     if (--pending_ == 0) {
+                       if (--steps_left_ > 0) {
+                         run_ring_step();
+                       } else {
+                         finish_iteration();
+                       }
+                     }
+                   });
+    }
+  }
+
+  void finish_iteration() {
+    ++iteration_;
+    if (iteration_ == options_.warmup_iterations) {
+      measure_start_time_ = queue_.now();
+      measured_bytes_ = 0.0;
+    }
+    if (iteration_ < options_.warmup_iterations + options_.measure_iterations)
+      start_compute_phase();
+  }
+
+  Cluster cluster_;
+  JobParams job_;
+  AllReduceSimOptions options_;
+
+  EventQueue queue_;
+  FlowNetwork network_;
+  StarFabric fabric_;
+  CompressionProps compression_;
+
+  std::vector<std::size_t> worker_node_;
+  std::vector<util::Rng> worker_rng_;
+  std::vector<double> compute_finish_;
+
+  int iteration_ = 0;
+  int pending_ = 0;
+  int steps_left_ = 0;
+  double measure_start_time_ = 0.0;
+  double measured_bytes_ = 0.0;
+  double barrier_wait_sum_ = 0.0;
+};
+
+}  // namespace
+
+RuntimeStats simulate_allreduce(const Cluster& cluster, const JobParams& job,
+                                util::Rng& rng,
+                                const AllReduceSimOptions& options) {
+  AllReduceSimulation sim(cluster, job, rng, options);
+  return sim.run();
+}
+
+}  // namespace autodml::sim

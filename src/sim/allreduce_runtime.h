@@ -1,0 +1,30 @@
+// Ring all-reduce training runtime (discrete-event simulation).
+//
+// The bandwidth-optimal collective used by decentralized data-parallel
+// training: after every worker finishes its gradient, the ring performs
+// 2(W-1) synchronous steps; in each step every worker sends one chunk of
+// model_bytes/W to its ring successor. Stragglers hurt twice — the compute
+// barrier before the collective and every step barrier inside it — which is
+// exactly the trade-off against parameter servers the tuner must learn.
+// Semantics are BSP with an effective batch of W * batch_per_worker.
+#pragma once
+
+#include "sim/cluster.h"
+#include "sim/job.h"
+#include "util/rng.h"
+
+namespace autodml::sim {
+
+struct AllReduceSimOptions {
+  int warmup_iterations = 4;
+  int measure_iterations = 24;
+  double max_sim_seconds = 3e5;
+};
+
+/// Runs the all-reduce simulation. Ignores `job.sync`/`job.staleness`
+/// (the collective is inherently synchronous) and server-related fields.
+RuntimeStats simulate_allreduce(const Cluster& cluster, const JobParams& job,
+                                util::Rng& rng,
+                                const AllReduceSimOptions& options = {});
+
+}  // namespace autodml::sim

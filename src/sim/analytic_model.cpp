@@ -1,0 +1,134 @@
+#include "sim/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autodml::sim {
+
+double expected_max_lognormal_factor(int n, double sigma) {
+  if (n <= 1 || sigma <= 0.0) return 1.0;
+  // E[max] ~ exp(sigma * sqrt(2 ln n)) for lognormal tails (extreme-value
+  // first-order term); adequate for the small n and sigma we use.
+  return std::exp(sigma * std::sqrt(2.0 * std::log(static_cast<double>(n))));
+}
+
+namespace {
+
+double mean_compute_seconds(const Cluster& cluster, const JobParams& job) {
+  // Slowest persistent node sets the BSP envelope; use the harmonic mean of
+  // node speeds for throughput-style estimates. Here: mean across nodes.
+  const CompressionProps comp = compression_props(job.compression);
+  const double flops =
+      static_cast<double>(job.batch_per_worker) * job.flops_per_sample +
+      job.model_bytes * comp.flops_per_byte;
+  double total = 0.0;
+  for (const auto& node : cluster.workers) {
+    total += flops / (node.type.flops() * node.speed_factor);
+  }
+  return total / static_cast<double>(cluster.workers.size());
+}
+
+double worst_compute_seconds(const Cluster& cluster, const JobParams& job) {
+  const CompressionProps comp = compression_props(job.compression);
+  const double flops =
+      static_cast<double>(job.batch_per_worker) * job.flops_per_sample +
+      job.model_bytes * comp.flops_per_byte;
+  double worst = 0.0;
+  for (const auto& node : cluster.workers) {
+    worst = std::max(worst, flops / (node.type.flops() * node.speed_factor));
+  }
+  return worst;
+}
+
+}  // namespace
+
+AnalyticEstimate analytic_ps(const Cluster& cluster, const JobParams& job) {
+  job.validate();
+  if (cluster.servers.empty())
+    throw std::invalid_argument("analytic_ps: no servers");
+  const auto w = static_cast<double>(cluster.workers.size());
+  const auto s = static_cast<double>(cluster.servers.size());
+  const CompressionProps comp = compression_props(job.compression);
+
+  const double push_bytes = job.model_bytes * comp.push_ratio;
+  const double pull_bytes = job.model_bytes * comp.pull_ratio;
+  const double worker_nic = cluster.workers.front().type.nic_bps() / 8.0;
+  const double server_nic = cluster.servers.front().type.nic_bps() / 8.0;
+
+  // Per-round transfer time: each worker moves push+pull bytes through its
+  // NIC; each server moves W/S of the aggregate through its NIC. The larger
+  // envelope dominates when all workers communicate together (BSP).
+  const double worker_side = (push_bytes + pull_bytes) / worker_nic;
+  const double server_side = w * (push_bytes + pull_bytes) / (s * server_nic);
+  const double latency_term =
+      2.0 * job.per_message_latency *
+      std::ceil(s / static_cast<double>(job.comm_threads));
+
+  AnalyticEstimate est;
+  est.comm_seconds = std::max(worker_side, server_side) + latency_term;
+
+  switch (job.sync) {
+    case SyncMode::kBsp: {
+      const double straggler = expected_max_lognormal_factor(
+          static_cast<int>(cluster.workers.size()),
+          cluster.workers.front().jitter_sigma);
+      est.compute_seconds = worst_compute_seconds(cluster, job) * straggler;
+      est.iteration_seconds = est.compute_seconds + est.comm_seconds;
+      est.updates_per_second = w / est.iteration_seconds;
+      break;
+    }
+    case SyncMode::kAsp:
+    case SyncMode::kSsp: {
+      // Workers pipeline independently; per-worker comm sees on average the
+      // steady-state share of server bandwidth.
+      est.compute_seconds = mean_compute_seconds(cluster, job);
+      const double per_worker_comm =
+          (push_bytes + pull_bytes) / worker_nic + latency_term;
+      const double per_worker_rate =
+          1.0 / (est.compute_seconds + per_worker_comm);
+      const double demand = w * per_worker_rate;
+      // Aggregate server capacity caps total update throughput.
+      const double capacity = s * server_nic / (push_bytes + pull_bytes);
+      est.updates_per_second = std::min(demand, capacity);
+      est.iteration_seconds = w / est.updates_per_second;
+      break;
+    }
+  }
+  est.samples_per_second =
+      est.updates_per_second * static_cast<double>(job.batch_per_worker);
+  return est;
+}
+
+AnalyticEstimate analytic_allreduce(const Cluster& cluster,
+                                    const JobParams& job) {
+  job.validate();
+  const auto w = static_cast<double>(cluster.workers.size());
+  const CompressionProps comp = compression_props(job.compression);
+  const double bytes = job.model_bytes * comp.push_ratio;
+  const double nic = cluster.workers.front().type.nic_bps() / 8.0;
+
+  AnalyticEstimate est;
+  const double straggler = expected_max_lognormal_factor(
+      static_cast<int>(cluster.workers.size()),
+      cluster.workers.front().jitter_sigma);
+  est.compute_seconds = worst_compute_seconds(cluster, job) * straggler;
+  if (cluster.workers.size() > 1) {
+    // Ring: 2(W-1) steps of bytes/W each, fully parallel across links.
+    est.comm_seconds = 2.0 * (w - 1.0) / w * bytes / nic +
+                       2.0 * (w - 1.0) * job.per_message_latency;
+  }
+  est.iteration_seconds = est.compute_seconds + est.comm_seconds;
+  est.updates_per_second = w / est.iteration_seconds;
+  est.samples_per_second =
+      est.updates_per_second * static_cast<double>(job.batch_per_worker);
+  return est;
+}
+
+AnalyticEstimate analytic_estimate(const Cluster& cluster,
+                                   const JobParams& job, Arch arch) {
+  return arch == Arch::kPs ? analytic_ps(cluster, job)
+                           : analytic_allreduce(cluster, job);
+}
+
+}  // namespace autodml::sim

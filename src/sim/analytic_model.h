@@ -1,0 +1,37 @@
+// Closed-form throughput model.
+//
+// The cheap first-order approximation of what the discrete-event runtimes
+// compute: compute/communication envelopes plus an extreme-value straggler
+// term. Used (a) as the baseline in the simulator-validation experiment
+// R-T6, where its error versus the DES ground truth is quantified, and
+// (b) by anyone who wants a fast screening model. It deliberately ignores
+// queuing, pipelining, and barrier dynamics — the things the DES gets right.
+#pragma once
+
+#include "sim/cluster.h"
+#include "sim/job.h"
+#include "sim/memory_model.h"
+
+namespace autodml::sim {
+
+/// Expected max of n i.i.d. lognormal(0, sigma) factors (Gumbel-style
+/// approximation); 1.0 for n <= 1 or sigma == 0.
+double expected_max_lognormal_factor(int n, double sigma);
+
+struct AnalyticEstimate {
+  double iteration_seconds = 0.0;   // per synchronous round / per worker
+  double updates_per_second = 0.0;
+  double samples_per_second = 0.0;
+  double compute_seconds = 0.0;     // breakdown terms
+  double comm_seconds = 0.0;
+};
+
+AnalyticEstimate analytic_ps(const Cluster& cluster, const JobParams& job);
+AnalyticEstimate analytic_allreduce(const Cluster& cluster,
+                                    const JobParams& job);
+
+/// Dispatch on architecture.
+AnalyticEstimate analytic_estimate(const Cluster& cluster,
+                                   const JobParams& job, Arch arch);
+
+}  // namespace autodml::sim

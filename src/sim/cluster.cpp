@@ -1,0 +1,77 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autodml::sim {
+
+const std::vector<InstanceType>& instance_catalog() {
+  // gflops are *effective* dense-training throughputs, not peak: they bake
+  // in framework efficiency so simulated iteration times land in realistic
+  // ranges (hundreds of ms for mid-size CNNs on CPU shapes).
+  static const std::vector<InstanceType> kCatalog = {
+      {"std4", 4, 50.0, 16.0, 5.0, 0.19},
+      {"std8", 8, 95.0, 32.0, 5.0, 0.38},
+      {"std16", 16, 180.0, 64.0, 10.0, 0.77},
+      {"cpu16", 16, 260.0, 32.0, 10.0, 0.85},
+      {"mem8", 8, 90.0, 128.0, 10.0, 0.60},
+      {"net8", 8, 95.0, 32.0, 25.0, 0.55},
+      {"gpu1", 8, 1400.0, 60.0, 10.0, 1.55},
+      {"gpu4", 32, 5200.0, 240.0, 25.0, 5.80},
+  };
+  return kCatalog;
+}
+
+const InstanceType& instance_by_name(std::string_view name) {
+  const auto& catalog = instance_catalog();
+  const auto it =
+      std::find_if(catalog.begin(), catalog.end(),
+                   [&](const InstanceType& t) { return t.name == name; });
+  if (it == catalog.end())
+    throw std::invalid_argument("instance_by_name: unknown type " +
+                                std::string(name));
+  return *it;
+}
+
+double Cluster::usd_per_hour() const {
+  double total = 0.0;
+  for (const auto& n : workers) total += n.type.usd_per_hour;
+  for (const auto& n : servers) total += n.type.usd_per_hour;
+  return total;
+}
+
+Cluster provision(const ClusterSpec& spec, util::Rng& rng) {
+  if (spec.num_workers < 1)
+    throw std::invalid_argument("provision: need at least one worker");
+  if (spec.num_servers < 0)
+    throw std::invalid_argument("provision: negative server count");
+
+  const InstanceType& worker_type = instance_by_name(spec.worker_type);
+  Cluster cluster;
+  cluster.workers.reserve(static_cast<std::size_t>(spec.num_workers));
+  for (int i = 0; i < spec.num_workers; ++i) {
+    NodeProfile node;
+    node.type = worker_type;
+    // Persistent slowdowns only (median 1, clamped at 1 from above): real
+    // clusters have laggards, not magically fast nodes.
+    node.speed_factor =
+        std::min(1.0, 1.0 / rng.lognormal_median(1.0, spec.heterogeneity_sigma));
+    node.jitter_sigma = spec.straggler_sigma;
+    cluster.workers.push_back(node);
+  }
+  if (spec.num_servers > 0) {
+    const InstanceType& server_type = instance_by_name(spec.server_type);
+    cluster.servers.reserve(static_cast<std::size_t>(spec.num_servers));
+    for (int i = 0; i < spec.num_servers; ++i) {
+      NodeProfile node;
+      node.type = server_type;
+      node.speed_factor =
+          std::min(1.0, 1.0 / rng.lognormal_median(1.0, spec.heterogeneity_sigma));
+      node.jitter_sigma = spec.straggler_sigma;
+      cluster.servers.push_back(node);
+    }
+  }
+  return cluster;
+}
+
+}  // namespace autodml::sim

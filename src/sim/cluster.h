@@ -1,0 +1,70 @@
+// Cluster and instance-type model.
+//
+// Stands in for the cloud the paper tuned on (we have no real cluster —
+// see DESIGN.md substitutions). The catalog mirrors the structure of a cloud
+// VM menu: general-purpose, compute-optimized, memory-optimized,
+// network-optimized, and GPU shapes, with price roughly tracking capability
+// so that cost-aware tuning has a real trade-off to exploit.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace autodml::sim {
+
+struct InstanceType {
+  std::string name;
+  int vcpus = 0;
+  double gflops = 0.0;      // effective dense-training GFLOP/s for the node
+  double ram_gb = 0.0;
+  double nic_gbps = 0.0;    // full-duplex NIC speed
+  double usd_per_hour = 0.0;
+
+  double nic_bps() const { return nic_gbps * 1e9; }
+  double ram_bytes() const { return ram_gb * 1e9; }
+  double flops() const { return gflops * 1e9; }
+};
+
+/// The fixed 8-type catalog used across all experiments.
+const std::vector<InstanceType>& instance_catalog();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const InstanceType& instance_by_name(std::string_view name);
+
+/// Persistent per-node performance heterogeneity plus per-iteration jitter
+/// parameters. `speed_factor` multiplies compute throughput (drawn once per
+/// node: some VMs are simply slower); `jitter_sigma` is the lognormal shape
+/// of per-iteration compute-time noise (transient stragglers).
+struct NodeProfile {
+  InstanceType type;
+  double speed_factor = 1.0;
+  double jitter_sigma = 0.0;
+};
+
+/// A provisioned cluster: worker nodes plus (for PS architectures) server
+/// nodes. Node profiles are drawn deterministically from the seed.
+struct Cluster {
+  std::vector<NodeProfile> workers;
+  std::vector<NodeProfile> servers;
+
+  double usd_per_hour() const;
+};
+
+struct ClusterSpec {
+  std::string worker_type;
+  std::string server_type;
+  int num_workers = 1;
+  int num_servers = 0;
+  /// Stddev of the persistent per-node lognormal slowdown (0 = homogeneous).
+  double heterogeneity_sigma = 0.05;
+  /// Per-iteration compute jitter shape (multitenancy stragglers).
+  double straggler_sigma = 0.08;
+};
+
+/// Provision a cluster: draws per-node speed factors from `rng`.
+Cluster provision(const ClusterSpec& spec, util::Rng& rng);
+
+}  // namespace autodml::sim

@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace autodml::sim {
+
+EventId EventQueue::schedule_at(double t, std::function<void()> fn) {
+  if (t < now_)
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+EventId EventQueue::schedule_after(double delay, std::function<void()> fn) {
+  if (delay < 0.0)
+    throw std::invalid_argument("EventQueue: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return;  // already ran or cancelled
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(top.id) > 0) continue;  // dead entry
+    const auto it = handlers_.find(top.id);
+    if (it == handlers_.end()) continue;  // defensive; should not happen
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    --live_count_;
+    now_ = top.time;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!heap_.empty()) {
+    // Peek at the next live event time without running it.
+    Entry top = heap_.top();
+    if (cancelled_.count(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.time > t_end) break;
+    step();
+  }
+  now_ = std::max(now_, t_end);
+}
+
+}  // namespace autodml::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with a monotonic virtual clock. Events are
+// closures ordered by (time, insertion sequence) so same-time events run in
+// deterministic FIFO order — determinism is a hard requirement because every
+// experiment must be reproducible from a seed. Cancellation is lazy: cancel()
+// marks the id and the pop loop skips dead entries (the flow network
+// reschedules its completion event on every reallocation, so cheap
+// cancellation matters).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace autodml::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  double now() const { return now_; }
+
+  /// Schedule at absolute virtual time t >= now().
+  EventId schedule_at(double t, std::function<void()> fn);
+
+  /// Schedule after a non-negative delay.
+  EventId schedule_after(double delay, std::function<void()> fn);
+
+  /// Mark an event dead; it will be skipped when popped. Idempotent.
+  void cancel(EventId id);
+
+  /// Pop and run the earliest live event. Returns false when empty.
+  bool step();
+
+  /// Run until the queue drains or `max_events` have run. Returns the
+  /// number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run until the clock passes `t_end` or the queue drains.
+  void run_until(double t_end);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace autodml::sim

@@ -1,0 +1,217 @@
+#include "sim/flow_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autodml::sim {
+
+namespace {
+constexpr double kBitEpsilon = 1e-6;  // flows below this are complete
+}
+
+LinkId FlowNetwork::add_link(double capacity_bps) {
+  if (!(capacity_bps > 0.0) || !std::isfinite(capacity_bps))
+    throw std::invalid_argument("FlowNetwork: bad link capacity");
+  link_capacity_.push_back(capacity_bps);
+  return link_capacity_.size() - 1;
+}
+
+FlowId FlowNetwork::start_flow(std::vector<LinkId> path, double bits,
+                               std::function<void()> on_complete) {
+  for (LinkId l : path) {
+    if (l >= link_capacity_.size())
+      throw std::invalid_argument("FlowNetwork: unknown link in path");
+  }
+  if (bits < 0.0 || !std::isfinite(bits))
+    throw std::invalid_argument("FlowNetwork: bad flow size");
+
+  advance_progress();
+  const FlowId id = next_flow_id_++;
+  if (path.empty() || bits <= kBitEpsilon) {
+    // Nothing can throttle it; complete on the next event tick so callbacks
+    // never run re-entrantly inside start_flow.
+    queue_->schedule_after(0.0, std::move(on_complete));
+    reallocate();
+    return id;
+  }
+  Flow flow{id, std::move(path), bits, 0.0, std::move(on_complete)};
+  flows_.emplace(id, std::move(flow));
+  reallocate();
+  return id;
+}
+
+double FlowNetwork::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FlowNetwork::link_utilization(LinkId link) const {
+  double total = 0.0;
+  for (const auto& [id, flow] : flows_) {
+    if (std::find(flow.path.begin(), flow.path.end(), link) !=
+        flow.path.end()) {
+      total += flow.rate;
+    }
+  }
+  return total;
+}
+
+void FlowNetwork::advance_progress() {
+  const double now = queue_->now();
+  const double dt = now - last_progress_time_;
+  last_progress_time_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining_bits = std::max(0.0, flow.remaining_bits - flow.rate * dt);
+  }
+}
+
+void FlowNetwork::reallocate() {
+  // Progressive filling: repeatedly find the most-constrained link, pin its
+  // flows at the fair share, remove them and their capacity, repeat.
+  std::vector<double> residual = link_capacity_;
+  std::vector<std::size_t> load(link_capacity_.size(), 0);
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    unfrozen.push_back(&flow);
+    for (LinkId l : flow.path) ++load[l];
+  }
+
+  while (!unfrozen.empty()) {
+    // Bottleneck link: minimal residual fair share among loaded links.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (LinkId l = 0; l < residual.size(); ++l) {
+      if (load[l] == 0) continue;
+      best_share =
+          std::min(best_share, residual[l] / static_cast<double>(load[l]));
+    }
+    // Freeze every flow crossing a link that is saturated at best_share.
+    std::vector<Flow*> still_unfrozen;
+    still_unfrozen.reserve(unfrozen.size());
+    for (Flow* flow : unfrozen) {
+      bool bottlenecked = false;
+      for (LinkId l : flow->path) {
+        if (residual[l] / static_cast<double>(load[l]) <=
+            best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        flow->rate = best_share;
+      } else {
+        still_unfrozen.push_back(flow);
+      }
+    }
+    // Retire frozen flows' capacity and load.
+    for (Flow* flow : unfrozen) {
+      if (std::find(still_unfrozen.begin(), still_unfrozen.end(), flow) !=
+          still_unfrozen.end()) {
+        continue;
+      }
+      for (LinkId l : flow->path) {
+        residual[l] = std::max(0.0, residual[l] - flow->rate);
+        --load[l];
+      }
+    }
+    if (still_unfrozen.size() == unfrozen.size()) {
+      // Defensive: no progress (should be impossible); pin everything.
+      for (Flow* flow : unfrozen) flow->rate = best_share;
+      still_unfrozen.clear();
+    }
+    unfrozen = std::move(still_unfrozen);
+  }
+
+  // Reschedule the single completion event at the earliest finish time.
+  if (has_completion_event_) {
+    queue_->cancel(completion_event_);
+    has_completion_event_ = false;
+  }
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0.0) continue;
+    earliest = std::min(earliest, flow.remaining_bits / flow.rate);
+  }
+  if (std::isfinite(earliest)) {
+    completion_event_ = queue_->schedule_after(
+        earliest, [this] { on_completion_event(); });
+    has_completion_event_ = true;
+  }
+}
+
+void FlowNetwork::on_completion_event() {
+  has_completion_event_ = false;
+  advance_progress();
+  // A flow is done when its remainder is absolute dust OR would finish
+  // within the floating-point resolution of the current clock (t + dt == t):
+  // without the relative test the completion event can re-fire forever at a
+  // frozen virtual time once the clock grows large.
+  const double now = queue_->now();
+  const double time_dust = std::max(1e-15, now * 1e-12);
+  const auto is_done = [&](const Flow& f) {
+    if (f.remaining_bits <= kBitEpsilon) return true;
+    return f.rate > 0.0 && f.remaining_bits / f.rate <= time_dust;
+  };
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (is_done(it->second)) {
+      callbacks.push_back(std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (callbacks.empty() && !flows_.empty()) {
+    // Guaranteed progress: the event fired because *some* flow was due;
+    // numerical drift can leave it marginally unfinished. Retire the flow
+    // closest to completion rather than spinning.
+    auto nearest = flows_.end();
+    double best_eta = std::numeric_limits<double>::infinity();
+    for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+      if (it->second.rate <= 0.0) continue;
+      const double eta = it->second.remaining_bits / it->second.rate;
+      if (eta < best_eta) {
+        best_eta = eta;
+        nearest = it;
+      }
+    }
+    // Only force it when the remaining time is unrepresentable on the
+    // clock (now + eta == now); otherwise the rescheduled event below will
+    // make progress on its own.
+    if (nearest != flows_.end() && now + best_eta <= now) {
+      callbacks.push_back(std::move(nearest->second.on_complete));
+      flows_.erase(nearest);
+    }
+  }
+  reallocate();
+  // Callbacks run last: they may start new flows, which re-reallocates.
+  for (auto& cb : callbacks) cb();
+}
+
+std::size_t StarFabric::add_node(double nic_bps) {
+  uplink_.push_back(network_->add_link(nic_bps));
+  downlink_.push_back(network_->add_link(nic_bps));
+  return uplink_.size() - 1;
+}
+
+void StarFabric::send(std::size_t src, std::size_t dst, double bytes,
+                      double latency, std::function<void()> on_complete) {
+  if (src >= num_nodes() || dst >= num_nodes())
+    throw std::invalid_argument("StarFabric: unknown node");
+  if (latency < 0.0) throw std::invalid_argument("StarFabric: bad latency");
+  const double bits = bytes * 8.0;
+  if (src == dst) {
+    queue_->schedule_after(latency, std::move(on_complete));
+    return;
+  }
+  std::vector<LinkId> path{uplink_[src], downlink_[dst]};
+  queue_->schedule_after(
+      latency, [this, path = std::move(path), bits,
+                cb = std::move(on_complete)]() mutable {
+        network_->start_flow(std::move(path), bits, std::move(cb));
+      });
+}
+
+}  // namespace autodml::sim

@@ -1,0 +1,108 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// Packet-level simulation is orders of magnitude too slow for a tuner that
+// evaluates hundreds of configurations, and unnecessary: distributed-ML
+// transfers are large, so steady-state bandwidth shares dominate. We model
+// each transfer as a fluid *flow* over a path of links; whenever the set of
+// active flows changes, rates are recomputed by water-filling (progressive
+// filling), the unique max-min fair allocation. The earliest flow completion
+// is kept as a single rescheduled event in the driving EventQueue.
+//
+// StarFabric builds the standard cloud abstraction on top: every node has a
+// dedicated full-duplex NIC (an uplink and a downlink) attached to an
+// infinitely fast core, so the only contention points are node NICs — the
+// regime real VM clusters are in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace autodml::sim {
+
+using LinkId = std::size_t;
+using FlowId = std::uint64_t;
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(EventQueue& queue) : queue_(&queue) {}
+
+  /// Adds a link with the given capacity (bits/second). Capacity must be
+  /// positive and finite.
+  LinkId add_link(double capacity_bps);
+
+  std::size_t num_links() const { return link_capacity_.size(); }
+  double link_capacity(LinkId link) const { return link_capacity_.at(link); }
+
+  /// Starts a flow of `bits` over `path` (possibly empty = infinitely fast).
+  /// `on_complete` fires from the event loop when the last bit arrives.
+  FlowId start_flow(std::vector<LinkId> path, double bits,
+                    std::function<void()> on_complete);
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Current max-min fair rate of a flow (bits/sec); 0 if unknown/finished.
+  double flow_rate(FlowId id) const;
+
+  /// Sum of rates currently crossing a link (for invariant checks).
+  double link_utilization(LinkId link) const;
+
+ private:
+  struct Flow {
+    FlowId id;
+    std::vector<LinkId> path;
+    double remaining_bits;
+    double rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  /// Credit progress for elapsed virtual time since the last update.
+  void advance_progress();
+
+  /// Recompute max-min rates and reschedule the completion event.
+  void reallocate();
+
+  /// Completion event body: retire finished flows, then fire callbacks.
+  void on_completion_event();
+
+  EventQueue* queue_;
+  std::vector<double> link_capacity_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  double last_progress_time_ = 0.0;
+  EventId completion_event_ = 0;
+  bool has_completion_event_ = false;
+};
+
+/// Star topology helper: per-node uplink/downlink pairs over an ideal core.
+class StarFabric {
+ public:
+  StarFabric(EventQueue& queue, FlowNetwork& network)
+      : queue_(&queue), network_(&network) {}
+
+  /// Registers a node with the given NIC speed; returns its node id.
+  std::size_t add_node(double nic_bps);
+
+  std::size_t num_nodes() const { return uplink_.size(); }
+  LinkId uplink(std::size_t node) const { return uplink_.at(node); }
+  LinkId downlink(std::size_t node) const { return downlink_.at(node); }
+
+  /// Transfers `bytes` from src to dst: a fixed propagation/handshake
+  /// latency, then a flow over src's uplink and dst's downlink.
+  /// Same-node transfers take only the latency. Zero-byte transfers are
+  /// treated as pure-latency messages.
+  void send(std::size_t src, std::size_t dst, double bytes, double latency,
+            std::function<void()> on_complete);
+
+ private:
+  EventQueue* queue_;
+  FlowNetwork* network_;
+  std::vector<LinkId> uplink_;
+  std::vector<LinkId> downlink_;
+};
+
+}  // namespace autodml::sim

@@ -1,0 +1,307 @@
+#include "sim/ps_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/flow_network.h"
+
+namespace autodml::sim {
+
+namespace {
+
+constexpr double kAckBytes = 64.0;
+constexpr double kRequestBytes = 128.0;
+
+class PsSimulation {
+ public:
+  PsSimulation(const Cluster& cluster, const JobParams& job, util::Rng& rng,
+               const PsSimOptions& options)
+      : cluster_(cluster),
+        job_(job),
+        options_(options),
+        rng_(rng),
+        network_(queue_),
+        fabric_(queue_, network_) {
+    job_.validate();
+    if (cluster_.servers.empty())
+      throw std::invalid_argument("simulate_ps: cluster has no servers");
+    const std::size_t w = cluster_.workers.size();
+    const std::size_t s = cluster_.servers.size();
+    for (const auto& node : cluster_.workers)
+      worker_node_.push_back(fabric_.add_node(node.type.nic_bps()));
+    for (const auto& node : cluster_.servers)
+      server_node_.push_back(fabric_.add_node(node.type.nic_bps()));
+    workers_.resize(w);
+    server_busy_until_.assign(s, 0.0);
+    for (std::size_t i = 0; i < w; ++i) worker_rng_.push_back(rng_.split());
+    compression_ = compression_props(job_.compression);
+  }
+
+  RuntimeStats run() {
+    const std::size_t w = cluster_.workers.size();
+    target_commits_ = static_cast<std::int64_t>(w) *
+                      (options_.warmup_iterations + options_.measure_iterations);
+    warmup_commits_ =
+        static_cast<std::int64_t>(w) * options_.warmup_iterations;
+    for (std::size_t i = 0; i < w; ++i) try_start_iteration(i);
+    while (!done_ && queue_.step()) {
+      if (queue_.now() > options_.max_sim_seconds) break;
+    }
+
+    RuntimeStats stats;
+    stats.completed = done_;
+    const double t0 = measure_start_time_;
+    const double t1 = queue_.now();
+    const auto measured =
+        static_cast<double>(total_commits_ - warmup_commits_);
+    if (measured <= 0.0 || t1 <= t0) {
+      // Pathological config (e.g. hopelessly slow): report zero throughput.
+      return stats;
+    }
+    stats.sim_seconds = t1 - t0;
+    stats.updates_per_second = measured / stats.sim_seconds;
+    stats.samples_per_second =
+        stats.updates_per_second * static_cast<double>(job_.batch_per_worker);
+    stats.mean_iteration_seconds =
+        measured_iteration_time_sum_ / measured;
+    stats.mean_staleness = staleness_sum_ / measured;
+    stats.bytes_per_update = measured_bytes_ / measured;
+    stats.blocked_fraction =
+        blocked_time_sum_ /
+        std::max(1e-12, stats.sim_seconds * static_cast<double>(w));
+    return stats;
+  }
+
+ private:
+  struct WorkerState {
+    std::int64_t finished = 0;       // committed iterations
+    std::int64_t version_at_compute = 0;  // total commits when compute began
+    double iteration_start = 0.0;
+    double blocked_since = -1.0;     // >= 0 while gated
+    int pending_shards = 0;          // remaining push acks or pull arrivals
+    std::vector<std::size_t> send_queue;  // shard indices awaiting a thread
+    int in_flight = 0;
+    bool pulling = false;            // phase flag: push (false) / pull (true)
+  };
+
+  std::int64_t min_finished() const {
+    std::int64_t m = workers_[0].finished;
+    for (const auto& ws : workers_) m = std::min(m, ws.finished);
+    return m;
+  }
+
+  bool gate_open(std::size_t w) const {
+    const auto& ws = workers_[w];
+    switch (job_.sync) {
+      case SyncMode::kBsp:
+        return min_finished() >= ws.finished;
+      case SyncMode::kAsp:
+        return true;
+      case SyncMode::kSsp:
+        return ws.finished - min_finished() <= job_.staleness;
+    }
+    return true;
+  }
+
+  void try_start_iteration(std::size_t w) {
+    if (done_) return;
+    auto& ws = workers_[w];
+    if (!gate_open(w)) {
+      if (ws.blocked_since < 0.0) ws.blocked_since = queue_.now();
+      blocked_workers_.push_back(w);
+      return;
+    }
+    if (ws.blocked_since >= 0.0) {
+      if (total_commits_ >= warmup_commits_)
+        blocked_time_sum_ += queue_.now() - ws.blocked_since;
+      ws.blocked_since = -1.0;
+    }
+    ws.iteration_start = queue_.now();
+    ws.version_at_compute = total_commits_;
+    start_compute(w);
+  }
+
+  void start_compute(std::size_t w) {
+    const auto& node = cluster_.workers[w];
+    auto& wrng = worker_rng_[w];
+    const double raw_bytes = job_.model_bytes;
+    const double flops =
+        static_cast<double>(job_.batch_per_worker) * job_.flops_per_sample +
+        raw_bytes * compression_.flops_per_byte;
+    const double base = flops / (node.type.flops() * node.speed_factor);
+    const double duration =
+        base * wrng.lognormal_median(1.0, node.jitter_sigma);
+    queue_.schedule_after(duration, [this, w] { start_push(w); });
+  }
+
+  void start_push(std::size_t w) {
+    auto& ws = workers_[w];
+    const std::size_t s = cluster_.servers.size();
+    ws.pulling = false;
+    ws.pending_shards = static_cast<int>(s);
+    ws.in_flight = 0;
+    ws.send_queue.clear();
+    for (std::size_t shard = 0; shard < s; ++shard)
+      ws.send_queue.push_back(shard);
+    pump_sends(w);
+  }
+
+  void pump_sends(std::size_t w) {
+    auto& ws = workers_[w];
+    while (ws.in_flight < job_.comm_threads && !ws.send_queue.empty()) {
+      const std::size_t shard = ws.send_queue.back();
+      ws.send_queue.pop_back();
+      ++ws.in_flight;
+      if (ws.pulling) {
+        send_pull_request(w, shard);
+      } else {
+        send_push(w, shard);
+      }
+    }
+  }
+
+  void send_push(std::size_t w, std::size_t shard) {
+    const std::size_t s = cluster_.servers.size();
+    const double bytes =
+        job_.model_bytes * compression_.push_ratio / static_cast<double>(s);
+    account_bytes(bytes);
+    fabric_.send(worker_node_[w], server_node_[shard], bytes,
+                 job_.per_message_latency,
+                 [this, w, shard] { on_push_arrived(w, shard); });
+  }
+
+  void on_push_arrived(std::size_t w, std::size_t shard) {
+    // Server applies the update; servers serialize their work queue.
+    const auto& server = cluster_.servers[shard];
+    const double shard_bytes =
+        job_.model_bytes / static_cast<double>(cluster_.servers.size());
+    const double service =
+        shard_bytes * job_.server_flops_per_byte /
+        (server.type.flops() * server.speed_factor);
+    const double start = std::max(queue_.now(), server_busy_until_[shard]);
+    server_busy_until_[shard] = start + service;
+    queue_.schedule_at(server_busy_until_[shard], [this, w, shard] {
+      // Ack back to the worker (latency-dominated small message).
+      account_bytes(kAckBytes);
+      fabric_.send(server_node_[shard], worker_node_[w], kAckBytes,
+                   job_.per_message_latency,
+                   [this, w] { on_shard_done(w); });
+    });
+  }
+
+  void send_pull_request(std::size_t w, std::size_t shard) {
+    // Request (small) then the server streams the weight shard back.
+    account_bytes(kRequestBytes);
+    fabric_.send(worker_node_[w], server_node_[shard], kRequestBytes,
+                 job_.per_message_latency, [this, w, shard] {
+                   const std::size_t s = cluster_.servers.size();
+                   const double bytes = job_.model_bytes *
+                                        compression_.pull_ratio /
+                                        static_cast<double>(s);
+                   account_bytes(bytes);
+                   fabric_.send(server_node_[shard], worker_node_[w], bytes,
+                                job_.per_message_latency,
+                                [this, w] { on_shard_done(w); });
+                 });
+  }
+
+  void on_shard_done(std::size_t w) {
+    auto& ws = workers_[w];
+    --ws.in_flight;
+    --ws.pending_shards;
+    if (ws.pending_shards > 0) {
+      pump_sends(w);
+      return;
+    }
+    if (!ws.pulling) {
+      // Push complete -> start pulling fresh weights.
+      const std::size_t s = cluster_.servers.size();
+      ws.pulling = true;
+      ws.pending_shards = static_cast<int>(s);
+      ws.in_flight = 0;
+      ws.send_queue.clear();
+      for (std::size_t shard = 0; shard < s; ++shard)
+        ws.send_queue.push_back(shard);
+      pump_sends(w);
+      return;
+    }
+    commit(w);
+  }
+
+  void commit(std::size_t w) {
+    auto& ws = workers_[w];
+    ++ws.finished;
+    ++total_commits_;
+    if (total_commits_ == warmup_commits_) {
+      measure_start_time_ = queue_.now();
+      measured_bytes_ = 0.0;
+    }
+    if (total_commits_ > warmup_commits_) {
+      measured_iteration_time_sum_ += queue_.now() - ws.iteration_start;
+      // Observed staleness in iteration units: commits that landed between
+      // this worker reading weights and committing its own update. BSP is
+      // semantically zero — the server aggregates the round's gradients
+      // against one weight version, so interleaved commits are not stale
+      // (the per-commit application here is a simulation artifact).
+      if (job_.sync != SyncMode::kBsp) {
+        const double tau =
+            static_cast<double>(total_commits_ - 1 - ws.version_at_compute) /
+            static_cast<double>(cluster_.workers.size());
+        staleness_sum_ += std::max(0.0, tau);
+      }
+    }
+    if (total_commits_ >= target_commits_) {
+      done_ = true;
+      return;
+    }
+    // Wake gated workers (their bound may have loosened), then continue.
+    auto blocked = std::move(blocked_workers_);
+    blocked_workers_.clear();
+    for (std::size_t b : blocked) try_start_iteration(b);
+    try_start_iteration(w);
+  }
+
+  void account_bytes(double bytes) {
+    if (total_commits_ >= warmup_commits_) measured_bytes_ += bytes;
+  }
+
+  Cluster cluster_;
+  JobParams job_;
+  PsSimOptions options_;
+  util::Rng& rng_;
+
+  EventQueue queue_;
+  FlowNetwork network_;
+  StarFabric fabric_;
+  CompressionProps compression_;
+
+  std::vector<std::size_t> worker_node_;
+  std::vector<std::size_t> server_node_;
+  std::vector<WorkerState> workers_;
+  std::vector<util::Rng> worker_rng_;
+  std::vector<double> server_busy_until_;
+  std::vector<std::size_t> blocked_workers_;
+
+  std::int64_t total_commits_ = 0;
+  std::int64_t warmup_commits_ = 0;
+  std::int64_t target_commits_ = 0;
+  double measure_start_time_ = 0.0;
+  double measured_iteration_time_sum_ = 0.0;
+  double staleness_sum_ = 0.0;
+  double measured_bytes_ = 0.0;
+  double blocked_time_sum_ = 0.0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+RuntimeStats simulate_ps(const Cluster& cluster, const JobParams& job,
+                         util::Rng& rng, const PsSimOptions& options) {
+  PsSimulation sim(cluster, job, rng, options);
+  return sim.run();
+}
+
+}  // namespace autodml::sim

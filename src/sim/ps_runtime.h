@@ -1,0 +1,34 @@
+// Parameter-server training runtime (discrete-event simulation).
+//
+// Simulates W workers training against S parameter-server shards over a
+// star-topology network. Per iteration each worker: (1) waits for its sync
+// gate (BSP barrier / SSP staleness bound / nothing for ASP), (2) computes a
+// gradient — duration driven by its node's effective FLOP/s, a persistent
+// per-node speed factor, and per-iteration lognormal jitter, (3) pushes one
+// gradient shard to every server (bounded by comm_threads concurrent
+// transfers; servers serialize update application), (4) pulls fresh weight
+// shards back, then commits. Server NIC contention, stragglers amplified by
+// barriers, and the staleness/throughput trade-off all emerge from the model
+// rather than being asserted — that is the point of simulating instead of
+// using a closed-form formula (the closed form lives in analytic_model.h and
+// is validated against this in experiment R-T6).
+#pragma once
+
+#include "sim/cluster.h"
+#include "sim/job.h"
+#include "util/rng.h"
+
+namespace autodml::sim {
+
+struct PsSimOptions {
+  int warmup_iterations = 4;    // per worker, excluded from measurement
+  int measure_iterations = 24;  // per worker
+  double max_sim_seconds = 3e5; // abort guard for pathological configs
+};
+
+/// Runs the PS simulation and returns steady-state throughput statistics.
+/// Requires at least one server in the cluster. Deterministic given `rng`.
+RuntimeStats simulate_ps(const Cluster& cluster, const JobParams& job,
+                         util::Rng& rng, const PsSimOptions& options = {});
+
+}  // namespace autodml::sim

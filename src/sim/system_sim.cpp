@@ -1,0 +1,44 @@
+#include "sim/system_sim.h"
+
+#include <stdexcept>
+
+namespace autodml::sim {
+
+SystemPerformance evaluate_system(const SystemConfig& config, util::Rng& rng,
+                                  const SystemSimOptions& options) {
+  SystemPerformance perf;
+  ClusterSpec spec = config.cluster;
+  if (config.arch == Arch::kAllReduce) {
+    spec.num_servers = 0;  // collective architectures have no servers
+  } else if (spec.num_servers < 1) {
+    throw std::invalid_argument("evaluate_system: PS arch needs servers");
+  }
+
+  const Cluster cluster = provision(spec, rng);
+  perf.usd_per_hour = cluster.usd_per_hour();
+
+  const MemoryCheck mem =
+      check_memory(cluster, config.job, config.arch, config.memory);
+  if (!mem.feasible) {
+    perf.feasible = false;
+    perf.failure = mem.reason;
+    return perf;
+  }
+
+  if (config.arch == Arch::kPs) {
+    PsSimOptions ps;
+    ps.warmup_iterations = options.warmup_iterations;
+    ps.measure_iterations = options.measure_iterations;
+    perf.runtime = simulate_ps(cluster, config.job, rng, ps);
+  } else {
+    AllReduceSimOptions ar;
+    ar.warmup_iterations = options.warmup_iterations;
+    ar.measure_iterations = options.measure_iterations;
+    perf.runtime = simulate_allreduce(cluster, config.job, rng, ar);
+  }
+  perf.feasible = perf.runtime.updates_per_second > 0.0;
+  if (!perf.feasible) perf.failure = "simulation produced no throughput";
+  return perf;
+}
+
+}  // namespace autodml::sim

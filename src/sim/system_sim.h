@@ -1,0 +1,44 @@
+// System-level facade: one call from configuration to measured throughput.
+//
+// This is the boundary the rest of AutoDML talks to: give it a full system
+// configuration (architecture, cluster shape, job knobs) and it provisions a
+// cluster, checks memory feasibility, runs the matching discrete-event
+// runtime, and reports throughput plus dollar rate. Deterministic given the
+// Rng passed in.
+#pragma once
+
+#include <string>
+
+#include "sim/allreduce_runtime.h"
+#include "sim/cluster.h"
+#include "sim/job.h"
+#include "sim/memory_model.h"
+#include "sim/ps_runtime.h"
+
+namespace autodml::sim {
+
+struct SystemConfig {
+  Arch arch = Arch::kPs;
+  ClusterSpec cluster;
+  JobParams job;
+  MemoryParams memory;
+};
+
+struct SystemPerformance {
+  bool feasible = false;
+  std::string failure;  // non-empty when infeasible (e.g. "worker OOM ...")
+  RuntimeStats runtime;
+  double usd_per_hour = 0.0;
+};
+
+struct SystemSimOptions {
+  int warmup_iterations = 4;
+  int measure_iterations = 24;
+};
+
+/// Provision, check memory, simulate. PS architectures require
+/// cluster.num_servers >= 1 (enforced here with a clear error).
+SystemPerformance evaluate_system(const SystemConfig& config, util::Rng& rng,
+                                  const SystemSimOptions& options = {});
+
+}  // namespace autodml::sim

@@ -1,0 +1,52 @@
+#include "util/arg_parse.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace autodml::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) continue;
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      args_.emplace(std::string(arg), "true");
+    } else {
+      args_.emplace(std::string(arg.substr(0, eq)),
+                    std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+bool ArgParser::has(std::string_view name) const {
+  return args_.find(name) != args_.end();
+}
+
+std::string ArgParser::get(std::string_view name, std::string_view def) const {
+  const auto it = args_.find(name);
+  return it == args_.end() ? std::string(def) : it->second;
+}
+
+std::int64_t ArgParser::get_int(std::string_view name, std::int64_t def) const {
+  const auto it = args_.find(name);
+  if (it == args_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double ArgParser::get_double(std::string_view name, double def) const {
+  const auto it = args_.find(name);
+  if (it == args_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool ArgParser::get_bool(std::string_view name, bool def) const {
+  const auto it = args_.find(name);
+  if (it == args_.end()) return def;
+  const std::string v = to_lower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace autodml::util

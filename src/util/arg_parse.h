@@ -1,0 +1,25 @@
+// Tiny --flag=value command-line parser for examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace autodml::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(std::string_view name) const;
+  std::string get(std::string_view name, std::string_view def) const;
+  std::int64_t get_int(std::string_view name, std::int64_t def) const;
+  double get_double(std::string_view name, double def) const;
+  bool get_bool(std::string_view name, bool def) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> args_;
+};
+
+}  // namespace autodml::util

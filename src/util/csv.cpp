@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace autodml::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  if (header_written_) throw std::logic_error("CsvWriter: header written twice");
+  ncols_ = cols.size();
+  header_written_ = true;
+  bool first = true;
+  for (const auto& c : cols) {
+    if (!first) *out_ << ',';
+    *out_ << csv_escape(c);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (header_written_ && cells.size() != ncols_)
+    throw std::logic_error("CsvWriter: row width does not match header");
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) *out_ << ',';
+    *out_ << csv_escape(c);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::string_view s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(double v) {
+  cells_.push_back(fmt(v, 6));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::size_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::done() { writer_->row(cells_); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace autodml::util

@@ -1,0 +1,53 @@
+// CSV and JSON-lines emitters for experiment output.
+//
+// Every bench binary both prints a human-readable table and (optionally)
+// writes machine-readable rows so results can be re-plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autodml::util {
+
+/// Escape a CSV field (quotes fields containing comma/quote/newline).
+std::string csv_escape(std::string_view field);
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& cols);
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with %.6g, keeps strings as-is.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& w) : writer_(&w) {}
+    RowBuilder& add(std::string_view s);
+    RowBuilder& add(double v);
+    RowBuilder& add(std::int64_t v);
+    RowBuilder& add(std::size_t v);
+    void done();
+
+   private:
+    CsvWriter* writer_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder build() { return RowBuilder(*this); }
+
+ private:
+  std::ostream* out_;
+  std::size_t ncols_ = 0;
+  bool header_written_ = false;
+};
+
+/// Format a double for display tables.
+std::string fmt(double v, int precision = 4);
+
+}  // namespace autodml::util

@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace autodml::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count();
+  std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s] %.*s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace autodml::util

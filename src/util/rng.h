@@ -1,0 +1,74 @@
+// Deterministic, splittable random number generation.
+//
+// Everything in AutoDML that needs randomness (samplers, simulator noise,
+// statistical-efficiency noise, baseline tuners) takes an explicit Rng so
+// that experiments are reproducible from a single seed. The generator is
+// xoshiro256** seeded via SplitMix64; split() derives an independent stream,
+// which lets a parent component hand child components their own generators
+// without coupling their consumption order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace autodml::util {
+
+/// SplitMix64 step; used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal such that the *median* of the distribution is `median` and
+  /// sigma is the shape parameter (stddev of the underlying normal).
+  double lognormal_median(double median, double sigma);
+
+  /// Exponential with the given rate (lambda). Requires rate > 0.
+  double exponential(double rate);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent generator. Deterministic: the k-th split of a
+  /// given generator state is always the same stream.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t split_counter_ = 0;
+};
+
+}  // namespace autodml::util

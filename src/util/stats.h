@@ -1,0 +1,55 @@
+// Summary statistics and bootstrap confidence intervals.
+//
+// Benches replicate every stochastic experiment across seeds; these helpers
+// turn replicate vectors into the mean / CI rows the experiment tables print.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace autodml::util {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance, 0 if n < 2
+double stddev(std::span<const double> xs);
+
+/// Quantile with linear interpolation; q in [0,1]. Requires non-empty input.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+Summary summarize(std::span<const double> xs);
+
+struct BootstrapCI {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  // mean of the data
+};
+
+/// Percentile-bootstrap CI on the mean. `level` e.g. 0.95.
+BootstrapCI bootstrap_mean_ci(std::span<const double> xs, double level,
+                              std::size_t resamples, Rng& rng);
+
+/// Pearson correlation; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric mean; requires all elements > 0.
+double geomean(std::span<const double> xs);
+
+}  // namespace autodml::util

@@ -1,0 +1,47 @@
+#include "workloads/objective_adapter.h"
+
+namespace autodml::wl {
+
+namespace {
+
+core::RunOutcome to_outcome(const EvalResult& result, Objective objective) {
+  core::RunOutcome out;
+  out.feasible = result.feasible;
+  out.aborted = result.terminated_early;
+  out.failure = result.failure;
+  out.objective = result.objective_value(objective);
+  out.spent_seconds = result.spent_seconds;
+  out.usd_per_hour = result.usd_per_hour;
+  return out;
+}
+
+}  // namespace
+
+core::RunOutcome EvaluatorObjective::run(const conf::Config& config,
+                                         core::RunController* controller) {
+  const Objective objective = evaluator_->options().objective;
+  auto run = evaluator_->start(config);
+  if (run->failed() || controller == nullptr) {
+    return to_outcome(run->result(), objective);
+  }
+  controller->on_run_start(run->usd_per_hour());
+  while (auto checkpoint = run->next_checkpoint()) {
+    core::RunCheckpoint cp;
+    cp.wall_seconds = checkpoint->wall_seconds;
+    cp.samples = checkpoint->samples;
+    cp.metric = checkpoint->metric;
+    if (controller->should_abort(cp)) {
+      return to_outcome(run->abort(), objective);
+    }
+  }
+  return to_outcome(run->result(), objective);
+}
+
+core::Trial to_trial(const EvalResult& result, Objective objective) {
+  core::Trial trial;
+  trial.config = result.config;
+  trial.outcome = to_outcome(result, objective);
+  return trial;
+}
+
+}  // namespace autodml::wl

@@ -1,0 +1,41 @@
+// Adapter binding the core tuner's black-box interface to the simulated
+// distributed-ML evaluator. This is where the tuner's RunController hook is
+// wired to the evaluator's checkpoint stream.
+#pragma once
+
+#include "core/tuner_types.h"
+#include "workloads/evaluator.h"
+
+namespace autodml::wl {
+
+class EvaluatorObjective final : public core::ObjectiveFunction {
+ public:
+  /// The evaluator must outlive the adapter.
+  explicit EvaluatorObjective(Evaluator& evaluator) : evaluator_(&evaluator) {}
+
+  const conf::ConfigSpace& space() const override {
+    return evaluator_->space();
+  }
+
+  double target_metric() const override {
+    return evaluator_->workload().stat.target_metric;
+  }
+
+  bool objective_is_cost() const override {
+    return evaluator_->options().objective == Objective::kCostToAccuracy;
+  }
+
+  core::RunOutcome run(const conf::Config& config,
+                       core::RunController* controller) override;
+
+  Evaluator& evaluator() { return *evaluator_; }
+
+ private:
+  Evaluator* evaluator_;
+};
+
+/// Convert one finished EvalResult to the tuner's trial record (used to
+/// seed warm starts from previous tuning sessions).
+core::Trial to_trial(const EvalResult& result, Objective objective);
+
+}  // namespace autodml::wl

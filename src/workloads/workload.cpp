@@ -1,0 +1,263 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autodml::wl {
+
+namespace {
+
+std::vector<Workload> build_suite() {
+  std::vector<Workload> suite;
+  const std::vector<std::int64_t> kWorkers = {1, 2, 4, 8, 16, 32, 64};
+  const std::vector<std::int64_t> kServers = {1, 2, 4, 8, 16};
+  const std::vector<std::int64_t> kBatches = {8, 16, 32, 64, 128, 256, 512};
+
+  {
+    // Click-through-rate logistic regression: small dense model, cheap
+    // per-sample compute, target driven by huge sample counts.
+    Workload w;
+    w.name = "logreg-ads";
+    w.description = "ad CTR logistic regression, 10M dense features";
+    w.model_bytes = 40e6;
+    w.flops_per_sample = 2.5e7;
+    w.activation_bytes_per_sample = 2e4;
+    w.stat.base_samples = 6e6;
+    w.stat.critical_batch = 1024;
+    w.stat.base_lr = 0.08;
+    w.stat.reference_batch = 32;
+    w.stat.staleness_coeff = 0.02;  // convex: tolerant of staleness
+    w.stat.staleness_power = 1.0;
+    w.stat.target_metric = 0.90;
+    w.stat.metric_ceiling = 0.94;
+    w.worker_menu = kWorkers;
+    w.server_menu = kServers;
+    w.batch_menu = kBatches;
+    w.worker_instance_menu = {"std4", "std8", "std16", "cpu16"};
+    suite.push_back(std::move(w));
+  }
+  {
+    // Matrix-factorization recommender: giant embedding table, trivial
+    // compute -> communication-bound; compression and server scaling rule.
+    Workload w;
+    w.name = "mf-recsys";
+    w.description = "matrix factorization recommender, 800MB embeddings";
+    w.model_bytes = 800e6;
+    w.flops_per_sample = 4e6;
+    w.activation_bytes_per_sample = 1e4;
+    w.stat.base_samples = 3e7;
+    w.stat.critical_batch = 4096;
+    w.stat.base_lr = 0.02;
+    w.stat.reference_batch = 64;
+    w.stat.staleness_coeff = 0.04;
+    w.stat.staleness_power = 1.1;
+    w.stat.target_metric = 0.92;
+    w.stat.metric_ceiling = 0.96;
+    w.worker_menu = kWorkers;
+    w.server_menu = kServers;
+    w.batch_menu = kBatches;
+    w.worker_instance_menu = {"std8", "std16", "net8", "mem8"};
+    suite.push_back(std::move(w));
+  }
+  {
+    // Tabular MLP: balanced compute/communication, mid-size everything.
+    Workload w;
+    w.name = "mlp-tabular";
+    w.description = "3-layer MLP on tabular features";
+    w.model_bytes = 120e6;
+    w.flops_per_sample = 2.4e8;
+    w.activation_bytes_per_sample = 4e5;
+    w.stat.base_samples = 8e6;
+    w.stat.critical_batch = 2048;
+    w.stat.base_lr = 0.05;
+    w.stat.reference_batch = 32;
+    w.stat.staleness_coeff = 0.08;
+    w.stat.staleness_power = 1.15;
+    w.stat.target_metric = 0.88;
+    w.stat.metric_ceiling = 0.93;
+    w.worker_menu = kWorkers;
+    w.server_menu = kServers;
+    w.batch_menu = kBatches;
+    w.worker_instance_menu = {"std8", "std16", "cpu16", "gpu1"};
+    suite.push_back(std::move(w));
+  }
+  {
+    // Small CNN: compute-heavy per sample, modest model -> GPU shapes and
+    // large effective batches win; stragglers under BSP start to matter.
+    Workload w;
+    w.name = "cnn-cifar";
+    w.description = "CIFAR-scale CNN";
+    w.model_bytes = 60e6;
+    w.flops_per_sample = 3.2e9;
+    w.activation_bytes_per_sample = 6e6;
+    w.stat.base_samples = 4e6;
+    w.stat.critical_batch = 1024;
+    w.stat.base_lr = 0.1;
+    w.stat.reference_batch = 64;
+    w.stat.staleness_coeff = 0.15;  // non-convex: staleness hurts
+    w.stat.staleness_power = 1.25;
+    w.stat.target_metric = 0.91;
+    w.stat.metric_ceiling = 0.95;
+    w.worker_menu = kWorkers;
+    w.server_menu = kServers;
+    w.batch_menu = kBatches;
+    w.worker_instance_menu = {"std16", "cpu16", "gpu1", "gpu4"};
+    suite.push_back(std::move(w));
+  }
+  {
+    // ImageNet-scale residual network: the heavyweight; both compute- and
+    // communication-intensive, deep straggler sensitivity.
+    Workload w;
+    w.name = "resnet-imagenet";
+    w.description = "ImageNet-scale residual network";
+    w.model_bytes = 110e6;
+    w.flops_per_sample = 8e9;
+    w.activation_bytes_per_sample = 3e7;
+    w.stat.base_samples = 1.2e7;
+    w.stat.critical_batch = 8192;
+    w.stat.base_lr = 0.1;
+    w.stat.reference_batch = 256;
+    w.stat.staleness_coeff = 0.2;
+    w.stat.staleness_power = 1.25;
+    w.stat.target_metric = 0.75;
+    w.stat.initial_metric = 0.01;
+    w.stat.metric_ceiling = 0.78;
+    w.worker_menu = kWorkers;
+    w.server_menu = kServers;
+    w.batch_menu = {16, 32, 64, 128, 256, 512};
+    w.worker_instance_menu = {"gpu1", "gpu4", "cpu16", "std16"};
+    suite.push_back(std::move(w));
+  }
+  {
+    // Word embeddings: enormous sparse model, trivial compute, very
+    // staleness-tolerant -> the ASP/top-k corner of the space.
+    Workload w;
+    w.name = "word2vec-text";
+    w.description = "skip-gram word embeddings, 1.2GB table";
+    w.model_bytes = 1.2e9;
+    w.flops_per_sample = 6e5;
+    w.activation_bytes_per_sample = 4e3;
+    w.stat.base_samples = 8e7;
+    w.stat.critical_batch = 8192;
+    w.stat.base_lr = 0.025;
+    w.stat.reference_batch = 128;
+    w.stat.staleness_coeff = 0.012;
+    w.stat.staleness_power = 1.0;
+    w.stat.target_metric = 0.85;
+    w.stat.metric_ceiling = 0.90;
+    w.worker_menu = kWorkers;
+    w.server_menu = kServers;
+    w.batch_menu = {32, 64, 128, 256, 512};
+    w.worker_instance_menu = {"std8", "std16", "net8", "mem8"};
+    suite.push_back(std::move(w));
+  }
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<Workload>& workload_suite() {
+  static const std::vector<Workload> kSuite = build_suite();
+  return kSuite;
+}
+
+const Workload& workload_by_name(std::string_view name) {
+  const auto& suite = workload_suite();
+  const auto it = std::find_if(suite.begin(), suite.end(),
+                               [&](const Workload& w) { return w.name == name; });
+  if (it == suite.end())
+    throw std::invalid_argument("workload_by_name: unknown workload " +
+                                std::string(name));
+  return *it;
+}
+
+conf::ConfigSpace build_config_space(const Workload& workload) {
+  conf::ConfigSpace space;
+  space.add(conf::ParamSpec::categorical("arch", {"ps", "allreduce"}));
+  space.add(conf::ParamSpec::categorical("sync", {"bsp", "asp", "ssp"})
+                .only_when("arch", {"ps"}));
+  space.add(conf::ParamSpec::integer("staleness", 1, 16)
+                .only_when("sync", {"ssp"}));
+  space.add(conf::ParamSpec::int_choice("num_workers", workload.worker_menu));
+  space.add(conf::ParamSpec::int_choice("num_servers", workload.server_menu)
+                .only_when("arch", {"ps"}));
+  space.add(
+      conf::ParamSpec::int_choice("batch_per_worker", workload.batch_menu));
+  space.add(conf::ParamSpec::continuous("learning_rate", workload.lr_lo,
+                                        workload.lr_hi, /*log_scale=*/true));
+  space.add(conf::ParamSpec::int_choice("comm_threads", {1, 2, 4, 8})
+                .only_when("arch", {"ps"}));
+  space.add(conf::ParamSpec::categorical("compression",
+                                         {"none", "fp16", "int8", "topk"}));
+  space.add(conf::ParamSpec::categorical(
+      "worker_type", std::vector<std::string>(
+                         workload.worker_instance_menu.begin(),
+                         workload.worker_instance_menu.end())));
+  return space;
+}
+
+sim::SystemConfig to_system_config(const Workload& workload,
+                                   const conf::Config& config) {
+  sim::SystemConfig sys;
+  sys.arch = sim::arch_from_string(config.get_cat("arch"));
+
+  sys.cluster.worker_type = config.get_cat("worker_type");
+  sys.cluster.server_type = workload.server_instance;
+  sys.cluster.num_workers =
+      static_cast<int>(config.get_int("num_workers"));
+  sys.cluster.num_servers =
+      sys.arch == sim::Arch::kPs
+          ? static_cast<int>(config.get_int("num_servers"))
+          : 0;
+
+  sys.job.model_bytes = workload.model_bytes;
+  sys.job.flops_per_sample = workload.flops_per_sample;
+  sys.job.batch_per_worker =
+      static_cast<int>(config.get_int("batch_per_worker"));
+  if (sys.arch == sim::Arch::kPs) {
+    sys.job.sync = sim::sync_mode_from_string(config.get_cat("sync"));
+    sys.job.comm_threads = static_cast<int>(config.get_int("comm_threads"));
+  } else {
+    sys.job.sync = sim::SyncMode::kBsp;  // collectives are synchronous
+    sys.job.comm_threads = 4;
+  }
+  sys.job.staleness = sys.job.sync == sim::SyncMode::kSsp
+                          ? static_cast<int>(config.get_int("staleness"))
+                          : 0;
+  sys.job.compression =
+      sim::compression_from_string(config.get_cat("compression"));
+  if (sys.arch == sim::Arch::kAllReduce &&
+      (sys.job.compression == sim::Compression::kInt8 ||
+       sys.job.compression == sim::Compression::kTopK)) {
+    // Ring reduction cannot sum sparse/quantized chunks without realigning
+    // them each hop; real collective stacks support fp16 only. Such configs
+    // silently fall back to no compression (and pay no sample penalty).
+    sys.job.compression = sim::Compression::kNone;
+  }
+
+  sys.memory.activation_bytes_per_sample =
+      workload.activation_bytes_per_sample;
+  return sys;
+}
+
+conf::Config default_expert_config(const Workload& workload,
+                                   const conf::ConfigSpace& space) {
+  conf::Config c = space.default_config();
+  c.set_cat("arch", "ps");
+  c.set_cat("sync", "bsp");
+  const auto mid = [](const std::vector<std::int64_t>& menu) {
+    return menu[menu.size() / 2];
+  };
+  c.set_int("num_workers", mid(workload.worker_menu));
+  c.set_int("num_servers", mid(workload.server_menu));
+  c.set_int("batch_per_worker", mid(workload.batch_menu));
+  c.set_double("learning_rate", workload.stat.base_lr);
+  c.set_int("comm_threads", 4);
+  c.set_cat("compression", "none");
+  c.set_cat("worker_type", workload.worker_instance_menu.front());
+  space.canonicalize(c);
+  space.validate(c);
+  return c;
+}
+
+}  // namespace autodml::wl

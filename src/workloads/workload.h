@@ -1,0 +1,65 @@
+// Workload suite: six distributed-training jobs with distinct bottlenecks.
+//
+// Each workload bundles (a) the resource profile that drives the simulator
+// (model size, FLOPs per sample, activation footprint), (b) the statistical-
+// efficiency constants that drive convergence, and (c) the menus that bind
+// the generic configuration space (which worker shapes are sensible, batch
+// menu, etc.). The suite is chosen so different knobs dominate per workload:
+// embedding-heavy jobs are communication-bound (PS + compression + many
+// servers win), vision jobs are compute-bound (GPU shapes + big effective
+// batch win), tiny convex jobs are latency-bound. A tuner that only gets one
+// of these shapes right is overfit; the benches sweep all of them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/config_space.h"
+#include "ml/convergence.h"
+#include "sim/system_sim.h"
+
+namespace autodml::wl {
+
+struct Workload {
+  std::string name;
+  std::string description;
+
+  // Resource profile.
+  double model_bytes = 0.0;
+  double flops_per_sample = 0.0;
+  double activation_bytes_per_sample = 0.0;
+
+  // Statistical-efficiency constants.
+  ml::StatModelParams stat;
+
+  // Space menus.
+  std::vector<std::int64_t> worker_menu;
+  std::vector<std::int64_t> server_menu;
+  std::vector<std::int64_t> batch_menu;
+  std::vector<std::string> worker_instance_menu;
+  std::string server_instance = "mem8";
+  double lr_lo = 1e-3;
+  double lr_hi = 3.0;
+};
+
+/// The fixed six-workload suite used in every experiment.
+const std::vector<Workload>& workload_suite();
+const Workload& workload_by_name(std::string_view name);
+
+/// Builds the mixed conditional configuration space for a workload:
+///   arch {ps, allreduce}; sync {bsp, asp, ssp} (PS only);
+///   staleness 1..16 (SSP only); num_workers / num_servers / batch menus;
+///   learning_rate (log); comm_threads (PS only); compression; worker_type.
+conf::ConfigSpace build_config_space(const Workload& workload);
+
+/// Translate one configuration into the simulator's system description.
+sim::SystemConfig to_system_config(const Workload& workload,
+                                   const conf::Config& config);
+
+/// A sensible-looking hand default (what a practitioner might start from):
+/// PS/BSP, mid worker count, mid batch, base learning rate, no compression.
+conf::Config default_expert_config(const Workload& workload,
+                                   const conf::ConfigSpace& space);
+
+}  // namespace autodml::wl

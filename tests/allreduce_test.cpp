@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sim/allreduce_runtime.h"
+#include "sim/analytic_model.h"
+
+namespace autodml::sim {
+namespace {
+
+Cluster workers_only(int n, const std::string& type = "std8",
+                     double straggler = 0.0) {
+  ClusterSpec spec;
+  spec.worker_type = type;
+  spec.server_type = "mem8";
+  spec.num_workers = n;
+  spec.num_servers = 0;
+  spec.heterogeneity_sigma = 0.0;
+  spec.straggler_sigma = straggler;
+  util::Rng rng(1);
+  return provision(spec, rng);
+}
+
+JobParams job_of(double model_bytes = 60e6, int batch = 32) {
+  JobParams job;
+  job.model_bytes = model_bytes;
+  job.flops_per_sample = 1e8;
+  job.batch_per_worker = batch;
+  return job;
+}
+
+RuntimeStats run(const Cluster& cluster, const JobParams& job,
+                 std::uint64_t seed = 5, int measure = 12) {
+  util::Rng rng(seed);
+  AllReduceSimOptions options;
+  options.warmup_iterations = 2;
+  options.measure_iterations = measure;
+  return simulate_allreduce(cluster, job, rng, options);
+}
+
+TEST(AllReduce, SingleWorkerHasNoCommunication) {
+  const RuntimeStats stats = run(workers_only(1), job_of());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_DOUBLE_EQ(stats.bytes_per_update, 0.0);
+  EXPECT_GT(stats.updates_per_second, 0.0);
+}
+
+TEST(AllReduce, StalenessAlwaysZero) {
+  const RuntimeStats stats = run(workers_only(4), job_of());
+  EXPECT_DOUBLE_EQ(stats.mean_staleness, 0.0);
+}
+
+TEST(AllReduce, BytesPerUpdateMatchesRingFormula) {
+  // Per collective, each worker ships 2(W-1) chunks of M/W; per committed
+  // update (W per collective) that is 2(W-1)/W^2 * M ... measured per update
+  // across all workers: total bytes = W * 2(W-1) * M/W = 2(W-1)M, and
+  // updates per collective = W, so bytes_per_update = 2(W-1)M/W.
+  const int w = 4;
+  const double model = 60e6;
+  const RuntimeStats stats = run(workers_only(w), job_of(model));
+  const double expected = 2.0 * (w - 1) * model / w;
+  EXPECT_NEAR(stats.bytes_per_update, expected, expected * 0.01);
+}
+
+TEST(AllReduce, IterationTimeGrowsWithModelSize) {
+  const RuntimeStats small = run(workers_only(4), job_of(20e6));
+  const RuntimeStats large = run(workers_only(4), job_of(400e6));
+  EXPECT_GT(large.mean_iteration_seconds, small.mean_iteration_seconds);
+}
+
+TEST(AllReduce, DeterministicGivenSeed) {
+  const RuntimeStats a = run(workers_only(4), job_of(), 9);
+  const RuntimeStats b = run(workers_only(4), job_of(), 9);
+  EXPECT_DOUBLE_EQ(a.updates_per_second, b.updates_per_second);
+}
+
+TEST(AllReduce, StragglersInflateBlockedTime) {
+  const RuntimeStats crisp = run(workers_only(8, "std8", 0.0), job_of());
+  const RuntimeStats noisy = run(workers_only(8, "std8", 0.5), job_of());
+  EXPECT_GT(noisy.blocked_fraction, crisp.blocked_fraction);
+  EXPECT_LT(noisy.updates_per_second, crisp.updates_per_second);
+}
+
+TEST(AllReduce, NearAnalyticForDeterministicCluster) {
+  // With zero jitter the DES should be close to the closed form.
+  const Cluster cluster = workers_only(4);
+  const JobParams job = job_of();
+  const RuntimeStats stats = run(cluster, job, 3, 16);
+  const AnalyticEstimate est = analytic_allreduce(cluster, job);
+  EXPECT_NEAR(stats.mean_iteration_seconds, est.iteration_seconds,
+              est.iteration_seconds * 0.25);
+}
+
+TEST(AllReduce, ScalesSamplesPerSecondWithWorkers) {
+  // Compute-bound job: near-linear scaling until the ring dominates.
+  JobParams job = job_of(10e6);
+  job.flops_per_sample = 5e8;
+  const RuntimeStats w2 = run(workers_only(2), job);
+  const RuntimeStats w8 = run(workers_only(8), job);
+  EXPECT_GT(w8.samples_per_second, 2.5 * w2.samples_per_second);
+}
+
+TEST(AllReduce, Fp16CompressionSpeedsUpCommBoundJob) {
+  JobParams heavy = job_of(800e6);
+  heavy.flops_per_sample = 1e6;  // comm-dominated
+  JobParams fp16 = heavy;
+  fp16.compression = Compression::kFp16;
+  const RuntimeStats a = run(workers_only(8), heavy);
+  const RuntimeStats b = run(workers_only(8), fp16);
+  EXPECT_GT(b.updates_per_second, 1.3 * a.updates_per_second);
+}
+
+class AllReduceScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllReduceScaleTest, CompletesAtEveryScale) {
+  const RuntimeStats stats = run(workers_only(GetParam()), job_of(), 2, 6);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GT(stats.updates_per_second, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, AllReduceScaleTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace autodml::sim

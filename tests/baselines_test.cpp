@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/baseline_tuners.h"
+#include "synthetic_objective.h"
+
+namespace autodml::baselines {
+namespace {
+
+using core::TuningResult;
+using testing::SyntheticObjective;
+
+TEST(RandomSearch, RespectsBudgetAndFindsFeasible) {
+  SyntheticObjective objective;
+  const TuningResult result = random_search(objective, 20, 1);
+  EXPECT_EQ(result.trials.size(), 20u);
+  EXPECT_TRUE(result.found_feasible());
+}
+
+TEST(RandomSearch, AvoidsDuplicates) {
+  SyntheticObjective objective;
+  const TuningResult result = random_search(objective, 30, 2);
+  std::set<math::Vec> seen;
+  for (const auto& t : result.trials) {
+    EXPECT_TRUE(seen.insert(objective.space().encode(t.config)).second);
+  }
+}
+
+TEST(RandomSearch, DeterministicGivenSeed) {
+  SyntheticObjective o1, o2;
+  const TuningResult a = random_search(o1, 10, 3);
+  const TuningResult b = random_search(o2, 10, 3);
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective);
+}
+
+TEST(GridSearch, CoversSpaceWhenBudgetAllows) {
+  SyntheticObjective objective;
+  const TuningResult result = grid_search(objective, 60, 4, 3);
+  EXPECT_LE(result.trials.size(), 60u);
+  EXPECT_TRUE(result.found_feasible());
+  // With 3 points/axis the grid hits both categories.
+  std::set<std::string> modes;
+  for (const auto& t : result.trials) modes.insert(t.config.get_cat("mode"));
+  EXPECT_EQ(modes.size(), 2u);
+}
+
+TEST(GridSearch, TruncatedBudgetStillSpreads) {
+  SyntheticObjective objective;
+  const TuningResult result = grid_search(objective, 8, 5, 4);
+  EXPECT_EQ(result.trials.size(), 8u);
+  // Shuffled: the 8 evaluated points should not all share one x value.
+  std::set<double> xs;
+  for (const auto& t : result.trials) xs.insert(t.config.get_double("x"));
+  EXPECT_GT(xs.size(), 1u);
+}
+
+TEST(CoordinateDescent, ImprovesOverItsStartingPoint) {
+  SyntheticObjective objective;
+  const TuningResult result = coordinate_descent(objective, 40, 5);
+  ASSERT_TRUE(result.found_feasible());
+  // First feasible trial vs final best.
+  double first_feasible = -1.0;
+  for (const auto& t : result.trials) {
+    if (t.succeeded()) {
+      first_feasible = t.outcome.objective;
+      break;
+    }
+  }
+  ASSERT_GT(first_feasible, 0.0);
+  EXPECT_LE(result.best_objective, first_feasible);
+}
+
+TEST(CoordinateDescent, RespectsBudget) {
+  SyntheticObjective objective;
+  const TuningResult result = coordinate_descent(objective, 15, 6);
+  EXPECT_LE(result.trials.size(), 15u);
+}
+
+TEST(SimulatedAnnealing, RespectsBudgetAndImproves) {
+  SyntheticObjective objective;
+  const TuningResult result = simulated_annealing(objective, 40, 7);
+  EXPECT_EQ(result.trials.size(), 40u);
+  ASSERT_TRUE(result.found_feasible());
+  EXPECT_LT(result.best_objective, 60.0);  // well under the worst case
+}
+
+TEST(SimulatedAnnealing, IncumbentMonotone) {
+  SyntheticObjective objective;
+  const TuningResult result = simulated_annealing(objective, 25, 8);
+  for (std::size_t i = 1; i < result.incumbent_curve.size(); ++i) {
+    EXPECT_LE(result.incumbent_curve[i], result.incumbent_curve[i - 1]);
+  }
+}
+
+TEST(SuccessiveHalving, PromotesAndFinishesFinalists) {
+  SyntheticObjective objective;
+  SuccessiveHalvingOptions options;
+  options.initial_configs = 8;
+  options.first_rung_seconds = 5.0;
+  options.max_rungs = 2;
+  const TuningResult result = successive_halving(objective, 40, 9, options);
+  EXPECT_TRUE(result.found_feasible());
+  // Some early runs were aborted at the rung budget; finalists completed.
+  int aborted = 0, completed = 0;
+  for (const auto& t : result.trials) {
+    aborted += t.outcome.aborted;
+    completed += t.succeeded();
+  }
+  EXPECT_GT(aborted, 0);
+  EXPECT_GT(completed, 0);
+}
+
+TEST(SuccessiveHalving, CheaperThanFullEvaluationOfAllConfigs) {
+  SyntheticObjective sha_obj;
+  SuccessiveHalvingOptions options;
+  options.initial_configs = 12;
+  options.first_rung_seconds = 3.0;
+  successive_halving(sha_obj, 60, 10, options);
+
+  SyntheticObjective full_obj;
+  random_search(full_obj, 12, 10);
+  EXPECT_LT(sha_obj.total_spent() / 12.0, full_obj.total_spent() / 12.0);
+}
+
+TEST(CherryPickBo, RunsWithoutEarlyTermination) {
+  SyntheticObjective objective;
+  const TuningResult result = cherrypick_bo(objective, 20, 11);
+  EXPECT_EQ(result.trials.size(), 20u);
+  for (const auto& t : result.trials) EXPECT_FALSE(t.outcome.aborted);
+  EXPECT_TRUE(result.found_feasible());
+}
+
+TEST(AutodmlBo, WrapperMatchesDirectTuner) {
+  SyntheticObjective o1, o2;
+  core::BoOptions options;
+  options.initial_design_size = 5;
+  const TuningResult a = autodml_bo(o1, 12, 13, options);
+  options.seed = 13;
+  options.max_evaluations = 12;
+  core::BoTuner tuner(o2, options);
+  const TuningResult b = tuner.tune();
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective);
+}
+
+TEST(Registry, ContainsAllSevenMethods) {
+  const auto& registry = tuner_registry();
+  EXPECT_EQ(registry.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& entry : registry) {
+    names.insert(entry.name);
+    ASSERT_NE(entry.fn, nullptr);
+  }
+  for (const char* expected : {"autodml", "cherrypick", "random", "grid",
+                               "coordinate", "annealing", "sha"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Registry, EveryMethodRunsOnTheSyntheticObjective) {
+  for (const auto& entry : tuner_registry()) {
+    SyntheticObjective objective;
+    const TuningResult result = entry.fn(objective, 10, 17);
+    EXPECT_LE(result.trials.size(), 10u) << entry.name;
+    EXPECT_FALSE(result.trials.empty()) << entry.name;
+    EXPECT_EQ(result.incumbent_curve.size(), result.trials.size())
+        << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace autodml::baselines

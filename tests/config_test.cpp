@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "config/config_space.h"
+#include "workloads/workload.h"
+
+namespace autodml::conf {
+namespace {
+
+ConfigSpace small_space() {
+  ConfigSpace space;
+  space.add(ParamSpec::categorical("mode", {"a", "b"}));
+  space.add(ParamSpec::integer("level", 1, 10).only_when("mode", {"a"}));
+  space.add(ParamSpec::int_choice("size", {8, 16, 32}));
+  space.add(ParamSpec::continuous("rate", 0.01, 1.0, /*log_scale=*/true));
+  space.add(ParamSpec::boolean("turbo"));
+  return space;
+}
+
+// ---- ParamSpec ---------------------------------------------------------------
+
+TEST(ParamSpec, IntegerValidation) {
+  const auto p = ParamSpec::integer("x", 1, 5);
+  EXPECT_TRUE(p.is_valid(ParamValue{std::int64_t{3}}));
+  EXPECT_FALSE(p.is_valid(ParamValue{std::int64_t{6}}));
+  EXPECT_FALSE(p.is_valid(ParamValue{2.0}));  // wrong alternative
+  EXPECT_EQ(p.cardinality(), 5u);
+  EXPECT_THROW(ParamSpec::integer("x", 5, 1), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::integer("x", 0, 5, /*log_scale=*/true),
+               std::invalid_argument);
+}
+
+TEST(ParamSpec, IntChoiceValidation) {
+  const auto p = ParamSpec::int_choice("b", {8, 16, 32});
+  EXPECT_TRUE(p.is_valid(ParamValue{std::int64_t{16}}));
+  EXPECT_FALSE(p.is_valid(ParamValue{std::int64_t{17}}));
+  EXPECT_THROW(ParamSpec::int_choice("b", {}), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::int_choice("b", {16, 8}), std::invalid_argument);
+}
+
+TEST(ParamSpec, ContinuousValidation) {
+  const auto p = ParamSpec::continuous("r", 0.1, 2.0);
+  EXPECT_TRUE(p.is_valid(ParamValue{1.0}));
+  EXPECT_FALSE(p.is_valid(ParamValue{2.5}));
+  EXPECT_EQ(p.cardinality(), 0u);
+  EXPECT_THROW(ParamSpec::continuous("r", 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ParamSpec::continuous("r", 0.0, 1.0, true),
+               std::invalid_argument);
+}
+
+TEST(ParamSpec, CategoricalValidation) {
+  const auto p = ParamSpec::categorical("m", {"x", "y", "z"});
+  EXPECT_TRUE(p.is_valid(ParamValue{std::string("y")}));
+  EXPECT_FALSE(p.is_valid(ParamValue{std::string("w")}));
+  EXPECT_EQ(p.encoded_width(), 3u);
+  EXPECT_THROW(ParamSpec::categorical("m", {"only"}), std::invalid_argument);
+}
+
+TEST(ParamSpec, DefaultValues) {
+  EXPECT_EQ(std::get<std::int64_t>(ParamSpec::integer("x", 2, 5).default_value()), 2);
+  EXPECT_EQ(std::get<std::string>(
+                ParamSpec::categorical("m", {"p", "q"}).default_value()),
+            "p");
+  EXPECT_FALSE(std::get<bool>(ParamSpec::boolean("t").default_value()));
+}
+
+TEST(ParamValue, ToString) {
+  EXPECT_EQ(to_string(ParamValue{std::int64_t{5}}), "5");
+  EXPECT_EQ(to_string(ParamValue{std::string("abc")}), "abc");
+  EXPECT_EQ(to_string(ParamValue{true}), "true");
+}
+
+// ---- ConfigSpace construction ---------------------------------------------------
+
+TEST(ConfigSpace, RejectsDuplicates) {
+  ConfigSpace space;
+  space.add(ParamSpec::boolean("x"));
+  EXPECT_THROW(space.add(ParamSpec::boolean("x")), std::invalid_argument);
+}
+
+TEST(ConfigSpace, RejectsUnknownParent) {
+  ConfigSpace space;
+  EXPECT_THROW(
+      space.add(ParamSpec::integer("y", 0, 1).only_when("nope", {"a"})),
+      std::invalid_argument);
+}
+
+TEST(ConfigSpace, RejectsNonCategoricalParent) {
+  ConfigSpace space;
+  space.add(ParamSpec::integer("x", 0, 3));
+  EXPECT_THROW(space.add(ParamSpec::integer("y", 0, 1).only_when("x", {"1"})),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpace, RejectsUnknownParentCategory) {
+  ConfigSpace space;
+  space.add(ParamSpec::categorical("m", {"a", "b"}));
+  EXPECT_THROW(space.add(ParamSpec::integer("y", 0, 1).only_when("m", {"c"})),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpace, EncodedDimension) {
+  const ConfigSpace space = small_space();
+  // mode(2) + level(1) + size(1) + rate(1) + turbo(1) = 6
+  EXPECT_EQ(space.encoded_dimension(), 6u);
+  EXPECT_EQ(space.num_params(), 5u);
+}
+
+// ---- activation / canonicalization -----------------------------------------------
+
+TEST(ConfigSpace, ConditionalActivation) {
+  const ConfigSpace space = small_space();
+  Config c = space.default_config();
+  c.set_cat("mode", "a");
+  EXPECT_TRUE(space.is_active(c, space.index_of("level")));
+  c.set_cat("mode", "b");
+  EXPECT_FALSE(space.is_active(c, space.index_of("level")));
+}
+
+TEST(ConfigSpace, CanonicalizeResetsInactive) {
+  const ConfigSpace space = small_space();
+  Config c = space.default_config();
+  c.set_cat("mode", "a");
+  c.set_int("level", 7);
+  c.set_cat("mode", "b");  // level becomes inactive but still holds 7
+  space.canonicalize(c);
+  EXPECT_EQ(c.get_int("level"), 1);  // reset to default
+}
+
+TEST(ConfigSpace, NestedConditionals) {
+  ConfigSpace space;
+  space.add(ParamSpec::categorical("a", {"on", "off"}));
+  space.add(ParamSpec::categorical("b", {"x", "y"}).only_when("a", {"on"}));
+  space.add(ParamSpec::integer("c", 0, 9).only_when("b", {"x"}));
+  Config cfg = space.default_config();
+  cfg.set_cat("a", "on");
+  cfg.set_cat("b", "x");
+  EXPECT_TRUE(space.is_active(cfg, space.index_of("c")));
+  cfg.set_cat("a", "off");
+  // b inactive -> c inactive transitively even though b still says "x".
+  EXPECT_FALSE(space.is_active(cfg, space.index_of("c")));
+}
+
+TEST(ConfigSpace, BooleanParent) {
+  ConfigSpace space;
+  space.add(ParamSpec::boolean("flag"));
+  space.add(ParamSpec::integer("x", 0, 3).only_when("flag", {"true"}));
+  Config c = space.default_config();
+  EXPECT_FALSE(space.is_active(c, space.index_of("x")));
+  c.set_bool("flag", true);
+  EXPECT_TRUE(space.is_active(c, space.index_of("x")));
+}
+
+// ---- validate ----------------------------------------------------------------------
+
+TEST(ConfigSpace, ValidateCatchesBadValue) {
+  const ConfigSpace space = small_space();
+  Config c = space.default_config();
+  space.validate(c);  // default must pass
+  c.set_int("size", 12);  // not in menu
+  EXPECT_THROW(space.validate(c), std::invalid_argument);
+}
+
+TEST(ConfigSpace, ValidateAcceptsStructurallyIdenticalForeignConfig) {
+  // Configs travel across evaluator instances (warm starts, ground-truth
+  // re-evaluation); an identically-shaped space must accept them.
+  const ConfigSpace space = small_space();
+  const ConfigSpace other = small_space();
+  const Config c = other.default_config();
+  EXPECT_NO_THROW(space.validate(c));
+}
+
+TEST(ConfigSpace, ValidateRejectsWrongWidthConfig) {
+  const ConfigSpace space = small_space();
+  ConfigSpace narrow;
+  narrow.add(ParamSpec::boolean("only"));
+  const Config c = narrow.default_config();
+  EXPECT_THROW(space.validate(c), std::invalid_argument);
+}
+
+// ---- encode / decode ------------------------------------------------------------------
+
+TEST(ConfigSpace, EncodeRangeIsUnitCube) {
+  const ConfigSpace space = small_space();
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Config c = space.sample_uniform(rng);
+    for (const double u : space.encode(c)) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(ConfigSpace, DecodeEncodeRoundTrip) {
+  const ConfigSpace space = small_space();
+  util::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    Config c = space.sample_uniform(rng);
+    space.canonicalize(c);
+    const Config back = space.decode(space.encode(c));
+    // Continuous params may round within float tolerance; compare encoded.
+    const auto e1 = space.encode(c);
+    const auto e2 = space.encode(back);
+    for (std::size_t d = 0; d < e1.size(); ++d) {
+      EXPECT_NEAR(e1[d], e2[d], 1e-9) << "dim " << d << " config " << c.to_string();
+    }
+  }
+}
+
+TEST(ConfigSpace, DecodeClampsOutOfRange) {
+  const ConfigSpace space = small_space();
+  math::Vec x(space.encoded_dimension(), 2.0);  // above 1
+  const Config c = space.decode(x);
+  space.validate(c);
+  math::Vec lo(space.encoded_dimension(), -3.0);
+  space.validate(space.decode(lo));
+}
+
+TEST(ConfigSpace, DecodeWrongDimensionThrows) {
+  const ConfigSpace space = small_space();
+  EXPECT_THROW(space.decode(math::Vec(2, 0.5)), std::invalid_argument);
+}
+
+TEST(ConfigSpace, LogScaleEncodingIsLogarithmic) {
+  ConfigSpace space;
+  space.add(ParamSpec::continuous("lr", 0.001, 1.0, /*log_scale=*/true));
+  Config c = space.default_config();
+  c.set_double("lr", 0.0316227766);  // ~sqrt(0.001*1.0): log-midpoint
+  const auto x = space.encode(c);
+  EXPECT_NEAR(x[0], 0.5, 1e-3);
+}
+
+TEST(ConfigSpace, EncodeCanonicalizesInactive) {
+  const ConfigSpace space = small_space();
+  Config c1 = space.default_config();
+  c1.set_cat("mode", "b");
+  Config c2 = c1;
+  c2.set_int("level", 9);  // inactive: must not affect encoding
+  EXPECT_EQ(space.encode(c1), space.encode(c2));
+}
+
+// ---- sampling / neighbors ------------------------------------------------------------
+
+TEST(ConfigSpace, SampleUniformAlwaysValid) {
+  const ConfigSpace space = small_space();
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Config c = space.sample_uniform(rng);
+    space.validate(c);
+  }
+}
+
+TEST(ConfigSpace, NeighborChangesExactlyOneActiveParamOrCascades) {
+  const ConfigSpace space = small_space();
+  util::Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    Config c = space.sample_uniform(rng);
+    space.canonicalize(c);
+    const Config n = space.neighbor(c, rng);
+    space.validate(n);
+    EXPECT_FALSE(n == c) << c.to_string();
+  }
+}
+
+TEST(ConfigSpace, NeighborRebindsToCalledSpace) {
+  // Regression: a neighbor generated from a config bound to another
+  // (possibly destroyed) space instance must belong to the live space —
+  // warm-start trials hit exactly this.
+  const ConfigSpace live = small_space();
+  Config foreign = [&] {
+    const auto other = std::make_unique<ConfigSpace>(small_space());
+    return other->default_config();
+  }();  // `other` destroyed; foreign's space pointer dangles
+  util::Rng rng(21);
+  const Config n = live.neighbor(foreign, rng);
+  EXPECT_EQ(n.space(), &live);
+  live.validate(n);
+  n.get_cat("mode");  // getters resolve through the live space
+}
+
+TEST(ConfigSpace, NeighborKeepsValuesInRange) {
+  const ConfigSpace space = small_space();
+  util::Rng rng(7);
+  Config c = space.default_config();
+  for (int i = 0; i < 500; ++i) {
+    c = space.neighbor(c, rng);
+    space.validate(c);
+  }
+}
+
+// ---- grid / enumerate -----------------------------------------------------------------
+
+TEST(ConfigSpace, GridCoversDiscreteAxes) {
+  ConfigSpace space;
+  space.add(ParamSpec::int_choice("a", {1, 2}));
+  space.add(ParamSpec::boolean("b"));
+  const auto grid = space.grid(5);
+  EXPECT_EQ(grid.size(), 4u);
+}
+
+TEST(ConfigSpace, GridThrowsWhenTooLarge) {
+  ConfigSpace space;
+  space.add(ParamSpec::integer("a", 0, 1000));
+  space.add(ParamSpec::integer("b", 0, 1000));
+  EXPECT_THROW(space.grid(1001, 1000), std::invalid_argument);
+}
+
+TEST(ConfigSpace, DiscreteSizeAndEnumerate) {
+  ConfigSpace space;
+  space.add(ParamSpec::categorical("m", {"a", "b"}));
+  space.add(ParamSpec::integer("x", 0, 2).only_when("m", {"a"}));
+  const auto size = space.discrete_size();
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 6u);
+  const auto all = space.enumerate();
+  // Canonicalization collapses m=b rows into one: 3 (m=a) + 1 (m=b) = 4
+  // distinct canonical configs, but enumerate may return duplicates only
+  // adjacent-deduped; all must be valid.
+  for (const auto& c : all) space.validate(c);
+  EXPECT_GE(all.size(), 4u);
+  EXPECT_LE(all.size(), 6u);
+}
+
+TEST(ConfigSpace, DiscreteSizeNulloptWithContinuous) {
+  const ConfigSpace space = small_space();
+  EXPECT_FALSE(space.discrete_size().has_value());
+  EXPECT_THROW(space.enumerate(), std::invalid_argument);
+}
+
+// ---- round trips over the real workload spaces ----------------------------------------
+
+class WorkloadSpaceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSpaceTest, EncodeDecodeRoundTripHolds) {
+  const auto& workload = wl::workload_by_name(GetParam());
+  const ConfigSpace space = wl::build_config_space(workload);
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    Config c = space.sample_uniform(rng);
+    space.canonicalize(c);
+    const auto e1 = space.encode(c);
+    const auto e2 = space.encode(space.decode(e1));
+    for (std::size_t d = 0; d < e1.size(); ++d) {
+      ASSERT_NEAR(e1[d], e2[d], 1e-9) << c.to_string();
+    }
+  }
+}
+
+TEST_P(WorkloadSpaceTest, NeighborsStayValid) {
+  const auto& workload = wl::workload_by_name(GetParam());
+  const ConfigSpace space = wl::build_config_space(workload);
+  util::Rng rng(13);
+  Config c = space.default_config();
+  for (int i = 0; i < 300; ++i) {
+    c = space.neighbor(c, rng);
+    space.validate(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSpaceTest,
+    ::testing::Values("logreg-ads", "mf-recsys", "mlp-tabular", "cnn-cifar",
+                      "resnet-imagenet", "word2vec-text"));
+
+}  // namespace
+}  // namespace autodml::conf

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/early_termination.h"
+#include "ml/convergence.h"
+
+namespace autodml::core {
+namespace {
+
+// Checkpoints generated from the library's own learning-curve family:
+// a run that reaches `target_metric` after `total_seconds`.
+std::vector<RunCheckpoint> make_curve(double total_seconds, double target,
+                                      int count, double rate = 1000.0) {
+  ml::StatModelParams params;
+  params.target_metric = target;
+  params.metric_ceiling = target + 0.05;
+  params.initial_metric = 0.1;
+  std::vector<RunCheckpoint> cps;
+  const double total_samples = total_seconds * rate;
+  for (int i = 1; i <= count; ++i) {
+    RunCheckpoint cp;
+    cp.wall_seconds =
+        total_seconds * static_cast<double>(i) / static_cast<double>(count + 4);
+    cp.samples = cp.wall_seconds * rate;
+    cp.metric = ml::metric_at(params, cp.samples, total_samples);
+    cps.push_back(cp);
+  }
+  return cps;
+}
+
+EarlyTermOptions options_for(double target = 0.9) {
+  EarlyTermOptions options;
+  options.target_metric = target;
+  options.min_checkpoints = 6;
+  options.confirmations = 2;
+  options.kill_factor = 1.3;
+  options.optimism = 0.7;
+  return options;
+}
+
+int feed_until_abort(EarlyTerminationPolicy& policy,
+                     const std::vector<RunCheckpoint>& cps) {
+  for (std::size_t i = 0; i < cps.size(); ++i) {
+    if (policy.should_abort(cps[i])) return static_cast<int>(i) + 1;
+  }
+  return -1;
+}
+
+TEST(EarlyTermination, KillsClearlyHopelessRun) {
+  // Run needs ~100x the incumbent; must be killed well before completion.
+  EarlyTerminationPolicy policy(options_for(), /*incumbent=*/100.0);
+  const auto cps = make_curve(10000.0, 0.9, 40);
+  const int killed_at = feed_until_abort(policy, cps);
+  ASSERT_GT(killed_at, 0);
+  EXPECT_LE(killed_at, 12);  // within a few checkpoints after min
+  EXPECT_LT(cps[killed_at - 1].wall_seconds, 10000.0 * 0.4);
+}
+
+TEST(EarlyTermination, SparesRunThatBeatsIncumbent) {
+  EarlyTerminationPolicy policy(options_for(), /*incumbent=*/1000.0);
+  const auto cps = make_curve(400.0, 0.9, 40);  // 2.5x better
+  EXPECT_EQ(feed_until_abort(policy, cps), -1);
+}
+
+TEST(EarlyTermination, SparesComparableRun) {
+  // Run ~ equal to incumbent: within kill_factor, must not be killed.
+  EarlyTerminationPolicy policy(options_for(), /*incumbent=*/1000.0);
+  const auto cps = make_curve(1000.0, 0.9, 40);
+  EXPECT_EQ(feed_until_abort(policy, cps), -1);
+}
+
+TEST(EarlyTermination, NeverKillsWithoutIncumbent) {
+  EarlyTerminationPolicy policy(
+      options_for(), std::numeric_limits<double>::infinity());
+  const auto cps = make_curve(1e7, 0.9, 40);
+  EXPECT_EQ(feed_until_abort(policy, cps), -1);
+}
+
+TEST(EarlyTermination, RespectsMinCheckpoints) {
+  EarlyTermOptions options = options_for();
+  options.min_checkpoints = 10;
+  EarlyTerminationPolicy policy(options, 1.0);  // absurdly good incumbent
+  const auto cps = make_curve(1e6, 0.9, 40);
+  const int killed_at = feed_until_abort(policy, cps);
+  ASSERT_GT(killed_at, 0);
+  EXPECT_GE(killed_at, 10 + options.confirmations - 1);
+}
+
+TEST(EarlyTermination, ConfirmationStreakRequired) {
+  EarlyTermOptions options = options_for();
+  options.confirmations = 5;
+  EarlyTerminationPolicy few(options_for(), 100.0);
+  EarlyTerminationPolicy many(options, 100.0);
+  const auto cps = make_curve(10000.0, 0.9, 40);
+  const int killed_few = feed_until_abort(few, cps);
+  const int killed_many = feed_until_abort(many, cps);
+  ASSERT_GT(killed_few, 0);
+  ASSERT_GT(killed_many, 0);
+  EXPECT_GE(killed_many, killed_few + 3);
+}
+
+TEST(EarlyTermination, DisabledPolicyNeverKills) {
+  EarlyTermOptions options = options_for();
+  options.enabled = false;
+  EarlyTerminationPolicy policy(options, 1.0);
+  const auto cps = make_curve(1e8, 0.9, 40);
+  EXPECT_EQ(feed_until_abort(policy, cps), -1);
+}
+
+TEST(EarlyTermination, KillsRunWhoseCeilingMissesTarget) {
+  // Curve saturates at 0.7 but the target is 0.9: unreachable.
+  EarlyTerminationPolicy policy(options_for(0.9), 1000.0);
+  std::vector<RunCheckpoint> cps;
+  for (int i = 1; i <= 30; ++i) {
+    RunCheckpoint cp;
+    cp.wall_seconds = 10.0 * i;
+    cp.samples = cp.wall_seconds * 100.0;
+    cp.metric = 0.7 - 0.6 * std::exp(-cp.wall_seconds / 40.0);
+    cps.push_back(cp);
+  }
+  const int killed_at = feed_until_abort(policy, cps);
+  EXPECT_GT(killed_at, 0);
+}
+
+TEST(EarlyTermination, CostModeConvertsThroughDollarRate) {
+  EarlyTermOptions options = options_for();
+  options.objective_is_cost = true;
+  // Incumbent 10 dollars; run needs ~3600s at 100 $/h = 100 dollars.
+  EarlyTerminationPolicy policy(options, 10.0);
+  policy.on_run_start(/*usd_per_hour=*/100.0);
+  const auto cps = make_curve(3600.0, 0.9, 40);
+  EXPECT_GT(feed_until_abort(policy, cps), 0);
+
+  // Same trajectory on a cheap cluster is fine.
+  EarlyTerminationPolicy cheap_policy(options, 10.0);
+  cheap_policy.on_run_start(/*usd_per_hour=*/1.0);
+  EXPECT_EQ(feed_until_abort(cheap_policy, cps), -1);
+}
+
+TEST(EarlyTermination, ProjectionIsReasonablyAccurate) {
+  EarlyTerminationPolicy policy(options_for(), 1e18);  // never kills
+  const double truth = 5000.0;
+  const auto cps = make_curve(truth, 0.9, 40);
+  feed_until_abort(policy, cps);
+  // Projection (with optimism 0.7) should land within a small factor.
+  EXPECT_GT(policy.last_projection(), truth * 0.25);
+  EXPECT_LT(policy.last_projection(), truth * 2.5);
+}
+
+}  // namespace
+}  // namespace autodml::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace autodml::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(5.0, [&] {
+    q.schedule_after(2.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(1.0, [&] { ran = true; });
+  q.cancel(id);
+  q.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterRun) {
+  EventQueue q;
+  const EventId id = q.schedule_at(1.0, [] {});
+  q.run();
+  q.cancel(id);  // already ran: no-op
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PendingCountsLiveEventsOnly) {
+  EventQueue q;
+  const EventId a = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, RunLimitsEventCount) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 5; ++i)
+    q.schedule_at(static_cast<double>(i), [&] { ++count; });
+  EXPECT_EQ(q.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  q.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  q.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledHead) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(1.0, [&] { ran = true; });
+  q.schedule_at(2.0, [] {});
+  q.cancel(id);
+  q.run_until(1.5);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) q.schedule_after(1.0, recurse);
+  };
+  q.schedule_at(0.0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_DOUBLE_EQ(q.now(), 49.0);
+}
+
+}  // namespace
+}  // namespace autodml::sim

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/gp.h"
+#include "gp/kernel.h"
+#include "math/cholesky.h"
+#include "math/optimize.h"
+#include "util/rng.h"
+
+namespace autodml::gp {
+namespace {
+
+math::Matrix random_inputs(std::size_t n, std::size_t dim, util::Rng& rng) {
+  math::Matrix x(n, dim);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t d = 0; d < dim; ++d) x(i, d) = rng.uniform();
+  return x;
+}
+
+// ---- kernels -------------------------------------------------------------------
+
+template <typename K>
+class KernelTest : public ::testing::Test {};
+
+using KernelTypes = ::testing::Types<SquaredExponentialArd, Matern52Ard>;
+TYPED_TEST_SUITE(KernelTest, KernelTypes);
+
+TYPED_TEST(KernelTest, SelfCovarianceIsSignalVariance) {
+  TypeParam k(3);
+  const math::Vec x{0.2, 0.5, 0.9};
+  EXPECT_NEAR(k.eval(x, x), k.signal_variance(), 1e-12);
+}
+
+TYPED_TEST(KernelTest, SymmetricAndDecaying) {
+  TypeParam k(2);
+  const math::Vec a{0.1, 0.2}, b{0.4, 0.9}, c{0.9, 0.95};
+  EXPECT_DOUBLE_EQ(k.eval(a, b), k.eval(b, a));
+  // Farther point has lower covariance with a.
+  EXPECT_GT(k.eval(a, b), k.eval(a, c));
+  EXPECT_GT(k.eval(a, a), k.eval(a, b));
+}
+
+TYPED_TEST(KernelTest, GramMatrixIsPsd) {
+  util::Rng rng(3);
+  TypeParam k(4);
+  const math::Matrix x = random_inputs(12, 4, rng);
+  math::Matrix gram(12, 12);
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = 0; j < 12; ++j) gram(i, j) = k.eval(x.row(i), x.row(j));
+  EXPECT_NO_THROW(math::cholesky_with_jitter(gram));
+}
+
+TYPED_TEST(KernelTest, HyperparameterRoundTrip) {
+  TypeParam k(3);
+  math::Vec theta = k.hyperparams();
+  theta[0] = std::log(0.7);
+  theta[3] = std::log(2.5);
+  k.set_hyperparams(theta);
+  const math::Vec back = k.hyperparams();
+  for (std::size_t i = 0; i < theta.size(); ++i)
+    EXPECT_NEAR(back[i], theta[i], 1e-12);
+}
+
+TYPED_TEST(KernelTest, GradientMatchesNumerical) {
+  util::Rng rng(5);
+  TypeParam k(3);
+  // Non-trivial hyperparameters.
+  math::Vec theta = k.hyperparams();
+  theta[0] = std::log(0.3);
+  theta[1] = std::log(1.2);
+  theta[2] = std::log(0.8);
+  theta[3] = std::log(2.0);
+  k.set_hyperparams(theta);
+  for (int trial = 0; trial < 20; ++trial) {
+    math::Vec a(3), b(3);
+    for (int d = 0; d < 3; ++d) {
+      a[d] = rng.uniform();
+      b[d] = rng.uniform();
+    }
+    const math::Vec analytic = k.grad_hyper(a, b);
+    const auto f = [&](std::span<const double> t) {
+      auto probe = k.clone();
+      probe->set_hyperparams(t);
+      return probe->eval(a, b);
+    };
+    const math::Vec numeric = math::numerical_gradient(f, k.hyperparams());
+    for (std::size_t i = 0; i < analytic.size(); ++i) {
+      EXPECT_NEAR(analytic[i], numeric[i], 1e-5)
+          << "hyper " << i << " trial " << trial;
+    }
+  }
+}
+
+TYPED_TEST(KernelTest, CloneIsIndependent) {
+  TypeParam k(2);
+  auto c = k.clone();
+  math::Vec theta = k.hyperparams();
+  theta[0] = std::log(5.0);
+  k.set_hyperparams(theta);
+  EXPECT_NE(c->hyperparams()[0], k.hyperparams()[0]);
+}
+
+TEST(Kernel, RejectsZeroDim) {
+  EXPECT_THROW(Matern52Ard k(0), std::invalid_argument);
+}
+
+TEST(Kernel, RejectsDimensionMismatch) {
+  Matern52Ard k(2);
+  EXPECT_THROW(k.eval(math::Vec{0.5}, math::Vec{0.5, 0.6}),
+               std::invalid_argument);
+}
+
+TEST(Kernel, InverseLengthscales) {
+  SquaredExponentialArd k(2);
+  math::Vec theta{std::log(0.5), std::log(2.0), std::log(1.0)};
+  k.set_hyperparams(theta);
+  const math::Vec inv = k.inverse_lengthscales();
+  EXPECT_NEAR(inv[0], 2.0, 1e-12);
+  EXPECT_NEAR(inv[1], 0.5, 1e-12);
+}
+
+// ---- GP regression -----------------------------------------------------------------
+
+TEST(GaussianProcess, InterpolatesNoiselessData) {
+  util::Rng rng(7);
+  const std::size_t n = 15;
+  math::Matrix x(n, 1);
+  math::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i) / static_cast<double>(n - 1);
+    y[i] = std::sin(4.0 * x(i, 0));
+  }
+  GpOptions options;
+  options.noise_hi = 1e-3;  // force near-interpolation
+  options.initial_noise = 1e-5;
+  GaussianProcess gp(std::make_unique<Matern52Ard>(1), options);
+  gp.fit(x, y, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    const GpPrediction p = gp.predict(x.row(i));
+    EXPECT_NEAR(p.mean, y[i], 0.05) << "at " << x(i, 0);
+  }
+}
+
+TEST(GaussianProcess, PredictsHeldOutSmoothFunction) {
+  util::Rng rng(8);
+  const std::size_t n = 25;
+  math::Matrix x(n, 1);
+  math::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = x(i, 0) * x(i, 0) + 0.5 * x(i, 0);
+  }
+  GaussianProcess gp(std::make_unique<Matern52Ard>(1));
+  gp.fit(x, y, rng);
+  for (double t : {0.15, 0.42, 0.77}) {
+    const GpPrediction p = gp.predict(math::Vec{t});
+    EXPECT_NEAR(p.mean, t * t + 0.5 * t, 0.05);
+  }
+}
+
+TEST(GaussianProcess, VarianceNonNegativeAndShrinksNearData) {
+  util::Rng rng(9);
+  math::Matrix x(5, 1);
+  math::Vec y{0.0, 1.0, 0.5, -0.5, 0.2};
+  for (std::size_t i = 0; i < 5; ++i) x(i, 0) = 0.1 + 0.2 * static_cast<double>(i);
+  GaussianProcess gp(std::make_unique<SquaredExponentialArd>(1));
+  gp.fit(x, y, rng);
+  const GpPrediction at_data = gp.predict(math::Vec{0.3});
+  const GpPrediction far = gp.predict(math::Vec{0.99});
+  EXPECT_GE(at_data.variance, 0.0);
+  EXPECT_GE(far.variance, 0.0);
+  EXPECT_GT(far.variance, at_data.variance);
+}
+
+TEST(GaussianProcess, StandardizationMakesFitShiftInvariant) {
+  util::Rng rng1(10), rng2(10);
+  const std::size_t n = 12;
+  math::Matrix x(n, 1);
+  math::Vec y(n), y_shifted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i) / 11.0;
+    y[i] = std::cos(3.0 * x(i, 0));
+    y_shifted[i] = 1000.0 + 50.0 * y[i];
+  }
+  GaussianProcess gp1(std::make_unique<Matern52Ard>(1));
+  GaussianProcess gp2(std::make_unique<Matern52Ard>(1));
+  gp1.fit(x, y, rng1);
+  gp2.fit(x, y_shifted, rng2);
+  const double m1 = gp1.predict(math::Vec{0.5}).mean;
+  const double m2 = gp2.predict(math::Vec{0.5}).mean;
+  EXPECT_NEAR(m2, 1000.0 + 50.0 * m1, 1.0);
+}
+
+TEST(GaussianProcess, HyperoptImprovesMarginalLikelihood) {
+  util::Rng rng(11);
+  const std::size_t n = 20;
+  math::Matrix x(n, 2);
+  math::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = std::sin(5.0 * x(i, 0));  // second dim irrelevant
+  }
+  GpOptions no_opt;
+  no_opt.optimize_hyperparams = false;
+  GaussianProcess fixed(std::make_unique<Matern52Ard>(2), no_opt);
+  fixed.refit(x, y);
+  GaussianProcess tuned(std::make_unique<Matern52Ard>(2));
+  tuned.fit(x, y, rng);
+  EXPECT_GT(tuned.log_marginal_likelihood(),
+            fixed.log_marginal_likelihood() - 1e-9);
+}
+
+TEST(GaussianProcess, ArdDownweightsIrrelevantDimension) {
+  util::Rng rng(12);
+  const std::size_t n = 40;
+  math::Matrix x(n, 2);
+  math::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    x(i, 1) = rng.uniform();
+    y[i] = std::sin(6.0 * x(i, 0)) + 0.01 * rng.normal();
+  }
+  GaussianProcess gp(std::make_unique<Matern52Ard>(2));
+  gp.fit(x, y, rng);
+  const auto* ard = dynamic_cast<const ArdKernelBase*>(&gp.kernel());
+  ASSERT_NE(ard, nullptr);
+  const math::Vec inv = ard->inverse_lengthscales();
+  EXPECT_GT(inv[0], 2.0 * inv[1]);  // active dim much more relevant
+}
+
+TEST(GaussianProcess, NoiseRecovery) {
+  util::Rng rng(13);
+  const std::size_t n = 60;
+  math::Matrix x(n, 1);
+  math::Vec y(n);
+  const double true_noise_sd = 0.2;
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(3.0 * x(i, 0)) + true_noise_sd * rng.normal();
+  }
+  GaussianProcess gp(std::make_unique<Matern52Ard>(1));
+  gp.fit(x, y, rng);
+  const double fitted_sd = std::sqrt(gp.noise_variance());
+  EXPECT_GT(fitted_sd, true_noise_sd / 3.0);
+  EXPECT_LT(fitted_sd, true_noise_sd * 3.0);
+}
+
+TEST(GaussianProcess, ErrorsOnMisuse) {
+  GaussianProcess gp(std::make_unique<Matern52Ard>(2));
+  EXPECT_THROW(gp.predict(math::Vec{0.5, 0.5}), std::logic_error);
+  util::Rng rng(1);
+  math::Matrix x(2, 1);  // wrong dim
+  math::Vec y{1.0, 2.0};
+  EXPECT_THROW(gp.fit(x, y, rng), std::invalid_argument);
+  math::Matrix x2(3, 2);
+  EXPECT_THROW(gp.fit(x2, y, rng), std::invalid_argument);  // size mismatch
+  EXPECT_THROW(GaussianProcess(nullptr), std::invalid_argument);
+}
+
+TEST(GaussianProcess, ConstantTargetsHandled) {
+  util::Rng rng(14);
+  math::Matrix x(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) x(i, 0) = 0.2 * static_cast<double>(i);
+  const math::Vec y(5, 3.0);
+  GaussianProcess gp(std::make_unique<Matern52Ard>(1));
+  gp.fit(x, y, rng);
+  EXPECT_NEAR(gp.predict(math::Vec{0.5}).mean, 3.0, 0.2);
+}
+
+TEST(GaussianProcess, CopyIsDeep) {
+  util::Rng rng(15);
+  math::Matrix x(6, 1);
+  math::Vec y(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    x(i, 0) = static_cast<double>(i) / 5.0;
+    y[i] = static_cast<double>(i);
+  }
+  GaussianProcess gp(std::make_unique<Matern52Ard>(1));
+  gp.fit(x, y, rng);
+  const GaussianProcess copy(gp);
+  EXPECT_NEAR(copy.predict(math::Vec{0.5}).mean,
+              gp.predict(math::Vec{0.5}).mean, 1e-12);
+}
+
+// ---- analytic LML gradient vs numeric (through the public fit path) --------------
+
+TEST(GaussianProcess, RefitKeepsHyperparameters) {
+  util::Rng rng(16);
+  math::Matrix x(8, 1);
+  math::Vec y(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    x(i, 0) = static_cast<double>(i) / 7.0;
+    y[i] = std::sin(2.0 * x(i, 0));
+  }
+  GaussianProcess gp(std::make_unique<Matern52Ard>(1));
+  gp.fit(x, y, rng);
+  const double lml1 = gp.log_marginal_likelihood();
+  gp.refit(x, y);  // same data, no hyperopt
+  EXPECT_NEAR(gp.log_marginal_likelihood(), lml1, 1e-9);
+}
+
+}  // namespace
+}  // namespace autodml::gp

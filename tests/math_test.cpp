@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/cholesky.h"
+#include "math/matrix.h"
+#include "math/optimize.h"
+#include "util/rng.h"
+
+namespace autodml::math {
+namespace {
+
+// ---- vector helpers -----------------------------------------------------------
+
+TEST(VecOps, DotAndNorm) {
+  const Vec a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec{3, 4}), 5.0);
+  EXPECT_THROW(dot(a, Vec{1}), std::invalid_argument);
+}
+
+TEST(VecOps, AxpyAndArithmetic) {
+  Vec y{1, 1};
+  axpy(2.0, Vec{3, 4}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  EXPECT_EQ(scaled(Vec{1, 2}, 3.0), (Vec{3, 6}));
+  EXPECT_EQ(added(Vec{1, 2}, Vec{3, 4}), (Vec{4, 6}));
+  EXPECT_EQ(subtracted(Vec{3, 4}, Vec{1, 2}), (Vec{2, 2}));
+}
+
+// ---- Matrix ---------------------------------------------------------------------
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 5;
+  m(1, 1) = 7;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(t.transposed(), m), 0.0);
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatvecAndTransposedMatvec) {
+  Matrix a(2, 3);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = static_cast<double>(i * 3 + j + 1);
+  const Vec v{1, 0, -1};
+  const Vec out = a.matvec(v);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+  const Vec w{1, 2};
+  const Vec tout = a.matvec_transposed(w);
+  EXPECT_DOUBLE_EQ(tout[0], 9.0);
+  EXPECT_DOUBLE_EQ(tout[1], 12.0);
+  EXPECT_DOUBLE_EQ(tout[2], 15.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+  EXPECT_THROW(a.matvec(Vec{1, 2}), std::invalid_argument);
+}
+
+// ---- Cholesky -------------------------------------------------------------------
+
+Matrix random_spd(std::size_t n, util::Rng& rng, double diag_boost = 0.5) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix spd = a.matmul(a.transposed());
+  spd.add_to_diagonal(diag_boost * static_cast<double>(n));
+  return spd;
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  util::Rng rng(5);
+  const Matrix a = random_spd(8, rng);
+  const auto f = cholesky(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix rebuilt = f->lower.matmul(f->lower.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(rebuilt, a), 1e-9);
+}
+
+TEST(Cholesky, SolveMatchesDirect) {
+  util::Rng rng(6);
+  const Matrix a = random_spd(6, rng);
+  Vec b(6);
+  for (auto& x : b) x = rng.normal();
+  const auto f = cholesky(a);
+  ASSERT_TRUE(f.has_value());
+  const Vec x = f->solve(b);
+  const Vec back = a.matvec(x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  Matrix d(3, 3);
+  d(0, 0) = 2.0;
+  d(1, 1) = 3.0;
+  d(2, 2) = 4.0;
+  const auto f = cholesky(d);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(f->log_det(), std::log(24.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 2.0;
+  m(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(m).has_value());
+}
+
+TEST(Cholesky, JitterRescuesSingular) {
+  // Rank-deficient PSD matrix (outer product).
+  Matrix m(3, 3);
+  const Vec v{1.0, 2.0, 3.0};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = v[i] * v[j];
+  const CholeskyFactor f = cholesky_with_jitter(m);
+  EXPECT_GT(f.jitter, 0.0);
+  const Matrix rebuilt = f.lower.matmul(f.lower.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(rebuilt, m), 1e-3);
+}
+
+TEST(Cholesky, JitterGivesUpOnNegativeDefinite) {
+  Matrix m(2, 2);
+  m(0, 0) = -10.0;
+  m(1, 1) = -10.0;
+  EXPECT_THROW(cholesky_with_jitter(m, 1e-10, 3), std::runtime_error);
+}
+
+TEST(Cholesky, SolveLowerUpperConsistency) {
+  util::Rng rng(9);
+  const Matrix a = random_spd(5, rng);
+  const auto f = cholesky(a);
+  ASSERT_TRUE(f.has_value());
+  Vec b(5);
+  for (auto& x : b) x = rng.normal();
+  const Vec y = f->solve_lower(b);
+  const Vec ly = f->lower.matvec(y);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(ly[i], b[i], 1e-10);
+}
+
+// ---- Nelder-Mead -------------------------------------------------------------------
+
+TEST(NelderMead, MinimizesQuadratic) {
+  const auto f = [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const OptResult r = nelder_mead(f, Vec{0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_LT(r.value, 1e-7);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto rosen = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5000;
+  const OptResult r = nelder_mead(rosen, Vec{-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW(nelder_mead([](std::span<const double>) { return 0.0; }, Vec{}),
+               std::invalid_argument);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  int calls = 0;
+  const auto f = [&](std::span<const double> x) {
+    ++calls;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5;
+  nelder_mead(f, Vec{10.0}, opts);
+  EXPECT_LT(calls, 40);  // a handful per iteration at most
+}
+
+// ---- Adam -------------------------------------------------------------------------
+
+TEST(Adam, MinimizesQuadraticWithGradient) {
+  const auto f = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 2.0 * (x[0] - 4.0);
+    g[1] = 2.0 * (x[1] + 2.0);
+    return (x[0] - 4.0) * (x[0] - 4.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  AdamOptions opts;
+  opts.max_iterations = 2000;
+  opts.learning_rate = 0.1;
+  const OptResult r = adam(f, Vec{0.0, 0.0}, opts);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-2);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-2);
+}
+
+TEST(Adam, KeepsBestSeenPoint) {
+  // Pathological gradient that diverges after a good start; best-seen must
+  // be retained even if later iterates get worse.
+  int calls = 0;
+  const auto f = [&](std::span<const double> x, std::span<double> g) {
+    ++calls;
+    g[0] = calls < 3 ? 2.0 * x[0] : -100.0;  // then runs away
+    return calls < 3 ? x[0] * x[0] : 1e6;
+  };
+  AdamOptions opts;
+  opts.max_iterations = 20;
+  const OptResult r = adam(f, Vec{1.0}, opts);
+  EXPECT_LE(r.value, 1.0);
+}
+
+TEST(Adam, StopsOnSmallGradient) {
+  const auto f = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 0.0;
+    return x[0];
+  };
+  const OptResult r = adam(f, Vec{5.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+// ---- golden section ------------------------------------------------------------------
+
+TEST(GoldenSection, FindsMinimum) {
+  const auto f = [](double x) { return (x - 1.7) * (x - 1.7) + 0.5; };
+  const OptResult r = golden_section(f, 0.0, 5.0);
+  EXPECT_NEAR(r.x[0], 1.7, 1e-6);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(GoldenSection, HandlesSwappedBounds) {
+  const auto f = [](double x) { return std::abs(x - 2.0); };
+  const OptResult r = golden_section(f, 5.0, 0.0);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-5);
+}
+
+// ---- numerical gradient ---------------------------------------------------------------
+
+TEST(NumericalGradient, MatchesAnalytic) {
+  const auto f = [](std::span<const double> x) {
+    return std::sin(x[0]) + x[1] * x[1];
+  };
+  const Vec x{0.7, -1.3};
+  const Vec g = numerical_gradient(f, x);
+  EXPECT_NEAR(g[0], std::cos(0.7), 1e-6);
+  EXPECT_NEAR(g[1], -2.6, 1e-6);
+}
+
+}  // namespace
+}  // namespace autodml::math

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "sim/ps_runtime.h"
+
+namespace autodml::sim {
+namespace {
+
+Cluster make_cluster(int workers, int servers, const std::string& wtype = "std8",
+                     double straggler_sigma = 0.0, std::uint64_t seed = 1) {
+  ClusterSpec spec;
+  spec.worker_type = wtype;
+  spec.server_type = "mem8";
+  spec.num_workers = workers;
+  spec.num_servers = servers;
+  spec.heterogeneity_sigma = 0.0;
+  spec.straggler_sigma = straggler_sigma;
+  util::Rng rng(seed);
+  return provision(spec, rng);
+}
+
+JobParams make_job(SyncMode mode = SyncMode::kBsp, int staleness = 0) {
+  JobParams job;
+  job.model_bytes = 40e6;
+  job.flops_per_sample = 2e7;
+  job.batch_per_worker = 32;
+  job.sync = mode;
+  job.staleness = staleness;
+  job.comm_threads = 4;
+  return job;
+}
+
+RuntimeStats run(const Cluster& cluster, const JobParams& job,
+                 std::uint64_t seed = 7, int measure = 16) {
+  util::Rng rng(seed);
+  PsSimOptions options;
+  options.warmup_iterations = 3;
+  options.measure_iterations = measure;
+  return simulate_ps(cluster, job, rng, options);
+}
+
+TEST(PsRuntime, CompletesAndReportsPositiveThroughput) {
+  const RuntimeStats stats = run(make_cluster(4, 2), make_job());
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GT(stats.updates_per_second, 0.0);
+  EXPECT_GT(stats.samples_per_second, stats.updates_per_second);
+  EXPECT_GT(stats.mean_iteration_seconds, 0.0);
+  EXPECT_GT(stats.bytes_per_update, 0.0);
+}
+
+TEST(PsRuntime, DeterministicGivenSeed) {
+  const RuntimeStats a = run(make_cluster(4, 2), make_job(), 11);
+  const RuntimeStats b = run(make_cluster(4, 2), make_job(), 11);
+  EXPECT_DOUBLE_EQ(a.updates_per_second, b.updates_per_second);
+  EXPECT_DOUBLE_EQ(a.mean_staleness, b.mean_staleness);
+}
+
+TEST(PsRuntime, RequiresServers) {
+  util::Rng rng(1);
+  EXPECT_THROW(simulate_ps(make_cluster(2, 0), make_job(), rng),
+               std::invalid_argument);
+}
+
+TEST(PsRuntime, BspStalenessIsZero) {
+  // Semantically zero: synchronous aggregation uses one weight version.
+  const RuntimeStats stats = run(make_cluster(8, 2), make_job(SyncMode::kBsp));
+  EXPECT_DOUBLE_EQ(stats.mean_staleness, 0.0);
+}
+
+TEST(PsRuntime, AspHasInherentOneRoundStaleness) {
+  // Even with perfectly uniform workers, asynchronous pipelining makes each
+  // gradient roughly one round stale.
+  const RuntimeStats stats =
+      run(make_cluster(8, 2, "std8", 0.0), make_job(SyncMode::kAsp));
+  EXPECT_GT(stats.mean_staleness, 0.4);
+  EXPECT_LT(stats.mean_staleness, 2.5);
+}
+
+TEST(PsRuntime, AspStalenessGrowsWithStragglers) {
+  const JobParams job = make_job(SyncMode::kAsp);
+  const RuntimeStats uniform =
+      run(make_cluster(8, 2, "std8", /*straggler=*/0.0), job);
+  const RuntimeStats noisy =
+      run(make_cluster(8, 2, "std8", /*straggler=*/0.5), job);
+  EXPECT_GE(noisy.mean_staleness, uniform.mean_staleness);
+}
+
+TEST(PsRuntime, SspThroughputBetweenBspAndAsp) {
+  // With stragglers, ASP >= SSP >= BSP in update throughput.
+  const Cluster cluster = make_cluster(8, 4, "std8", 0.4);
+  const RuntimeStats bsp = run(cluster, make_job(SyncMode::kBsp), 5, 20);
+  const RuntimeStats ssp = run(cluster, make_job(SyncMode::kSsp, 3), 5, 20);
+  const RuntimeStats asp = run(cluster, make_job(SyncMode::kAsp), 5, 20);
+  EXPECT_GE(asp.updates_per_second, 0.95 * ssp.updates_per_second);
+  EXPECT_GE(ssp.updates_per_second, 0.95 * bsp.updates_per_second);
+}
+
+TEST(PsRuntime, BspBlockedFractionPositiveWithStragglers) {
+  const RuntimeStats stats =
+      run(make_cluster(8, 2, "std8", 0.5), make_job(SyncMode::kBsp));
+  EXPECT_GT(stats.blocked_fraction, 0.0);
+  EXPECT_LT(stats.blocked_fraction, 1.0);
+}
+
+TEST(PsRuntime, FasterNicNotSlower) {
+  // net8 = same compute as std8 but a 25 Gbps NIC instead of 5.
+  const JobParams job = make_job();
+  const RuntimeStats slow = run(make_cluster(8, 2, "std8"), job);
+  const RuntimeStats fast = run(make_cluster(8, 2, "net8"), job);
+  EXPECT_GE(fast.updates_per_second, 0.98 * slow.updates_per_second);
+}
+
+TEST(PsRuntime, MoreServersHelpCommBoundJobs) {
+  JobParams job = make_job();
+  job.model_bytes = 400e6;  // heavy model -> server NIC bound
+  const RuntimeStats one = run(make_cluster(8, 1), job);
+  const RuntimeStats eight = run(make_cluster(8, 8), job);
+  EXPECT_GT(eight.updates_per_second, one.updates_per_second);
+}
+
+TEST(PsRuntime, CompressionReducesBytesPerUpdate) {
+  JobParams none = make_job();
+  JobParams fp16 = make_job();
+  fp16.compression = Compression::kFp16;
+  const RuntimeStats a = run(make_cluster(4, 2), none);
+  const RuntimeStats b = run(make_cluster(4, 2), fp16);
+  EXPECT_LT(b.bytes_per_update, a.bytes_per_update);
+}
+
+TEST(PsRuntime, TopKSlashesTraffic) {
+  JobParams topk = make_job();
+  topk.compression = Compression::kTopK;
+  topk.model_bytes = 400e6;
+  JobParams none = make_job();
+  none.model_bytes = 400e6;
+  const RuntimeStats a = run(make_cluster(4, 2), none);
+  const RuntimeStats b = run(make_cluster(4, 2), topk);
+  // Push traffic drops ~50x; total includes uncompressed pulls.
+  EXPECT_LT(b.bytes_per_update, 0.7 * a.bytes_per_update);
+  EXPECT_GT(b.updates_per_second, a.updates_per_second);
+}
+
+TEST(PsRuntime, LargerBatchFewerUpdatesButMoreSamples) {
+  JobParams small = make_job();
+  small.batch_per_worker = 16;
+  JobParams big = make_job();
+  big.batch_per_worker = 256;
+  const Cluster cluster = make_cluster(4, 2);
+  const RuntimeStats a = run(cluster, small);
+  const RuntimeStats b = run(cluster, big);
+  EXPECT_GT(a.updates_per_second, b.updates_per_second);
+  EXPECT_GT(b.samples_per_second, a.samples_per_second);
+}
+
+TEST(PsRuntime, SingleCommThreadSerializesShards) {
+  JobParams wide = make_job();
+  wide.comm_threads = 8;
+  JobParams narrow = make_job();
+  narrow.comm_threads = 1;
+  // Many servers + tiny model: latency-dominated, so serialization hurts.
+  JobParams wide_small = wide;
+  wide_small.model_bytes = 1e6;
+  JobParams narrow_small = narrow;
+  narrow_small.model_bytes = 1e6;
+  const Cluster cluster = make_cluster(2, 8);
+  const RuntimeStats par = run(cluster, wide_small);
+  const RuntimeStats ser = run(cluster, narrow_small);
+  EXPECT_GT(par.updates_per_second, ser.updates_per_second);
+}
+
+TEST(PsRuntime, GpuNodesComputeFaster) {
+  JobParams job = make_job();
+  job.flops_per_sample = 3e9;  // compute-bound job
+  const RuntimeStats cpu = run(make_cluster(2, 2, "std16"), job);
+  const RuntimeStats gpu = run(make_cluster(2, 2, "gpu1"), job);
+  EXPECT_GT(gpu.updates_per_second, 2.0 * cpu.updates_per_second);
+}
+
+TEST(PsRuntime, SspStalenessRespectsBoundLoosely) {
+  // Observed effective staleness should stay within the configured bound
+  // (plus measurement slack).
+  const RuntimeStats stats =
+      run(make_cluster(8, 2, "std8", 0.5), make_job(SyncMode::kSsp, 2));
+  EXPECT_LE(stats.mean_staleness, 3.5);  // bound + inherent round + slack
+}
+
+class PsGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PsGridTest, CompletesAcrossTopologyGrid) {
+  const auto [workers, servers, comm_threads] = GetParam();
+  JobParams job = make_job();
+  job.comm_threads = comm_threads;
+  const RuntimeStats stats = run(make_cluster(workers, servers), job, 3, 8);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GT(stats.updates_per_second, 0.0);
+  EXPECT_GE(stats.mean_staleness, 0.0);
+  EXPECT_GE(stats.blocked_fraction, 0.0);
+  EXPECT_LE(stats.blocked_fraction, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, PsGridTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 16),
+                       ::testing::Values(1, 4, 8),
+                       ::testing::Values(1, 4)));
+
+}  // namespace
+}  // namespace autodml::sim

@@ -1,0 +1,97 @@
+// Shared test double: a cheap, deterministic black box for tuner tests.
+//
+// Space: x in [0,1] (continuous), mode in {a,b}, k in 1..10 (int).
+// Objective (seconds): quadratic bowl in x + categorical offset + |k-7| term,
+// optimum at (x=0.3, mode=a, k=7) with value kOptimum. Configurations with
+// x > 0.92 "crash" (feasible=false), giving the feasibility model something
+// to learn. Runs stream a simple saturating metric curve so early-
+// termination controllers can be exercised.
+#pragma once
+
+#include <cmath>
+
+#include "core/tuner_types.h"
+#include "util/rng.h"
+
+namespace autodml::testing {
+
+class SyntheticObjective final : public core::ObjectiveFunction {
+ public:
+  static constexpr double kOptimum = 10.0;
+
+  explicit SyntheticObjective(double noise_sigma = 0.0,
+                              std::uint64_t noise_seed = 99)
+      : noise_sigma_(noise_sigma), rng_(noise_seed) {
+    space_.add(conf::ParamSpec::continuous("x", 0.0, 1.0));
+    space_.add(conf::ParamSpec::categorical("mode", {"a", "b"}));
+    space_.add(conf::ParamSpec::integer("k", 1, 10));
+    // Deliberately irrelevant knob: sensitivity analysis must rank it last.
+    space_.add(conf::ParamSpec::continuous("dud", 0.0, 1.0));
+  }
+
+  const conf::ConfigSpace& space() const override { return space_; }
+  double target_metric() const override { return 0.9; }
+
+  double true_value(const conf::Config& c) const {
+    const double x = c.get_double("x");
+    const double mode_term = c.get_cat("mode") == "a" ? 0.0 : 8.0;
+    const double k_term =
+        0.8 * std::abs(static_cast<double>(c.get_int("k")) - 7.0);
+    return kOptimum + 40.0 * (x - 0.3) * (x - 0.3) + mode_term + k_term;
+  }
+
+  core::RunOutcome run(const conf::Config& config,
+                       core::RunController* controller) override {
+    ++total_runs_;
+    core::RunOutcome out;
+    out.usd_per_hour = 1.0;
+    if (config.get_double("x") > 0.92) {
+      out.feasible = false;
+      out.failure = "crash region";
+      out.spent_seconds = 1.0;
+      total_spent_ += out.spent_seconds;
+      return out;
+    }
+    double value = true_value(config);
+    if (noise_sigma_ > 0.0) value *= rng_.lognormal_median(1.0, noise_sigma_);
+
+    out.feasible = true;
+    if (controller != nullptr) {
+      controller->on_run_start(out.usd_per_hour);
+      // Saturating curve hitting the target metric (0.9) exactly at
+      // wall = value; 16 checkpoints.
+      const int checkpoints = 16;
+      for (int i = 1; i <= checkpoints; ++i) {
+        core::RunCheckpoint cp;
+        cp.wall_seconds = value * static_cast<double>(i) /
+                          static_cast<double>(checkpoints + 1);
+        cp.samples = cp.wall_seconds * 100.0;
+        const double frac = cp.wall_seconds / value;
+        // Power-law shape matching the library's learning curves.
+        cp.metric = 0.95 - 0.85 * std::pow(1.0 + frac / 0.18, -1.4);
+        if (controller->should_abort(cp)) {
+          out.aborted = true;
+          out.spent_seconds = cp.wall_seconds;
+          total_spent_ += out.spent_seconds;
+          return out;
+        }
+      }
+    }
+    out.objective = value;
+    out.spent_seconds = value;
+    total_spent_ += out.spent_seconds;
+    return out;
+  }
+
+  int total_runs() const { return total_runs_; }
+  double total_spent() const { return total_spent_; }
+
+ private:
+  conf::ConfigSpace space_;
+  double noise_sigma_;
+  util::Rng rng_;
+  int total_runs_ = 0;
+  double total_spent_ = 0.0;
+};
+
+}  // namespace autodml::testing
