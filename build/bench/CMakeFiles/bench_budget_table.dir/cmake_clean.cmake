@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_budget_table.dir/bench_budget_table.cpp.o"
+  "CMakeFiles/bench_budget_table.dir/bench_budget_table.cpp.o.d"
+  "bench_budget_table"
+  "bench_budget_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

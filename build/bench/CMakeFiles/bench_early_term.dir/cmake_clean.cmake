@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_early_term.dir/bench_early_term.cpp.o"
+  "CMakeFiles/bench_early_term.dir/bench_early_term.cpp.o.d"
+  "bench_early_term"
+  "bench_early_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_early_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

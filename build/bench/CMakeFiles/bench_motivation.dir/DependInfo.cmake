@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_motivation.cpp" "bench/CMakeFiles/bench_motivation.dir/bench_motivation.cpp.o" "gcc" "bench/CMakeFiles/bench_motivation.dir/bench_motivation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/autodml_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autodml_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autodml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autodml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autodml_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/autodml_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/autodml_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/autodml_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autodml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_model.dir/bench_network_model.cpp.o"
+  "CMakeFiles/bench_network_model.dir/bench_network_model.cpp.o.d"
+  "bench_network_model"
+  "bench_network_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

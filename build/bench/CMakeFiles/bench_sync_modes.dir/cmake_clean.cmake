@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_modes.dir/bench_sync_modes.cpp.o"
+  "CMakeFiles/bench_sync_modes.dir/bench_sync_modes.cpp.o.d"
+  "bench_sync_modes"
+  "bench_sync_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuner_overhead.dir/bench_tuner_overhead.cpp.o"
+  "CMakeFiles/bench_tuner_overhead.dir/bench_tuner_overhead.cpp.o.d"
+  "bench_tuner_overhead"
+  "bench_tuner_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuner_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

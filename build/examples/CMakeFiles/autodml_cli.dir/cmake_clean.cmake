@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_cli.dir/autodml_cli.cpp.o"
+  "CMakeFiles/autodml_cli.dir/autodml_cli.cpp.o.d"
+  "autodml_cli"
+  "autodml_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_stopping_demo.dir/early_stopping_demo.cpp.o"
+  "CMakeFiles/early_stopping_demo.dir/early_stopping_demo.cpp.o.d"
+  "early_stopping_demo"
+  "early_stopping_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_stopping_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

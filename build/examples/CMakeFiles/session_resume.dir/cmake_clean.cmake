@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_resume.dir/session_resume.cpp.o"
+  "CMakeFiles/session_resume.dir/session_resume.cpp.o.d"
+  "session_resume"
+  "session_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_resnet_cluster.dir/tune_resnet_cluster.cpp.o"
+  "CMakeFiles/tune_resnet_cluster.dir/tune_resnet_cluster.cpp.o.d"
+  "tune_resnet_cluster"
+  "tune_resnet_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_resnet_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_baselines.dir/baseline_tuners.cpp.o"
+  "CMakeFiles/autodml_baselines.dir/baseline_tuners.cpp.o.d"
+  "CMakeFiles/autodml_baselines.dir/parallel_bo.cpp.o"
+  "CMakeFiles/autodml_baselines.dir/parallel_bo.cpp.o.d"
+  "libautodml_baselines.a"
+  "libautodml_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config_space.cpp" "src/config/CMakeFiles/autodml_config.dir/config_space.cpp.o" "gcc" "src/config/CMakeFiles/autodml_config.dir/config_space.cpp.o.d"
+  "/root/repo/src/config/param.cpp" "src/config/CMakeFiles/autodml_config.dir/param.cpp.o" "gcc" "src/config/CMakeFiles/autodml_config.dir/param.cpp.o.d"
+  "/root/repo/src/config/sampler.cpp" "src/config/CMakeFiles/autodml_config.dir/sampler.cpp.o" "gcc" "src/config/CMakeFiles/autodml_config.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autodml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/autodml_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_config.dir/config_space.cpp.o"
+  "CMakeFiles/autodml_config.dir/config_space.cpp.o.d"
+  "CMakeFiles/autodml_config.dir/param.cpp.o"
+  "CMakeFiles/autodml_config.dir/param.cpp.o.d"
+  "CMakeFiles/autodml_config.dir/sampler.cpp.o"
+  "CMakeFiles/autodml_config.dir/sampler.cpp.o.d"
+  "libautodml_config.a"
+  "libautodml_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

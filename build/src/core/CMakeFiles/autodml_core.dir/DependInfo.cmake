@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acquisition.cpp" "src/core/CMakeFiles/autodml_core.dir/acquisition.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/acquisition.cpp.o.d"
+  "/root/repo/src/core/acquisition_optimizer.cpp" "src/core/CMakeFiles/autodml_core.dir/acquisition_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/acquisition_optimizer.cpp.o.d"
+  "/root/repo/src/core/bo_tuner.cpp" "src/core/CMakeFiles/autodml_core.dir/bo_tuner.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/bo_tuner.cpp.o.d"
+  "/root/repo/src/core/early_termination.cpp" "src/core/CMakeFiles/autodml_core.dir/early_termination.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/early_termination.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/autodml_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/session_io.cpp" "src/core/CMakeFiles/autodml_core.dir/session_io.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/session_io.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/autodml_core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/surrogate.cpp.o.d"
+  "/root/repo/src/core/tuner_types.cpp" "src/core/CMakeFiles/autodml_core.dir/tuner_types.cpp.o" "gcc" "src/core/CMakeFiles/autodml_core.dir/tuner_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/autodml_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/autodml_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autodml_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autodml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/autodml_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autodml_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_core.dir/acquisition.cpp.o"
+  "CMakeFiles/autodml_core.dir/acquisition.cpp.o.d"
+  "CMakeFiles/autodml_core.dir/acquisition_optimizer.cpp.o"
+  "CMakeFiles/autodml_core.dir/acquisition_optimizer.cpp.o.d"
+  "CMakeFiles/autodml_core.dir/bo_tuner.cpp.o"
+  "CMakeFiles/autodml_core.dir/bo_tuner.cpp.o.d"
+  "CMakeFiles/autodml_core.dir/early_termination.cpp.o"
+  "CMakeFiles/autodml_core.dir/early_termination.cpp.o.d"
+  "CMakeFiles/autodml_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/autodml_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/autodml_core.dir/session_io.cpp.o"
+  "CMakeFiles/autodml_core.dir/session_io.cpp.o.d"
+  "CMakeFiles/autodml_core.dir/surrogate.cpp.o"
+  "CMakeFiles/autodml_core.dir/surrogate.cpp.o.d"
+  "CMakeFiles/autodml_core.dir/tuner_types.cpp.o"
+  "CMakeFiles/autodml_core.dir/tuner_types.cpp.o.d"
+  "libautodml_core.a"
+  "libautodml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_gp.dir/gp.cpp.o"
+  "CMakeFiles/autodml_gp.dir/gp.cpp.o.d"
+  "CMakeFiles/autodml_gp.dir/kernel.cpp.o"
+  "CMakeFiles/autodml_gp.dir/kernel.cpp.o.d"
+  "libautodml_gp.a"
+  "libautodml_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

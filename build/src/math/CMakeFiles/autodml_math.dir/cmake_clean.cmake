@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_math.dir/cholesky.cpp.o"
+  "CMakeFiles/autodml_math.dir/cholesky.cpp.o.d"
+  "CMakeFiles/autodml_math.dir/matrix.cpp.o"
+  "CMakeFiles/autodml_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/autodml_math.dir/optimize.cpp.o"
+  "CMakeFiles/autodml_math.dir/optimize.cpp.o.d"
+  "libautodml_math.a"
+  "libautodml_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/convergence.cpp" "src/ml/CMakeFiles/autodml_ml.dir/convergence.cpp.o" "gcc" "src/ml/CMakeFiles/autodml_ml.dir/convergence.cpp.o.d"
+  "/root/repo/src/ml/curve_fit.cpp" "src/ml/CMakeFiles/autodml_ml.dir/curve_fit.cpp.o" "gcc" "src/ml/CMakeFiles/autodml_ml.dir/curve_fit.cpp.o.d"
+  "/root/repo/src/ml/micro_trainer.cpp" "src/ml/CMakeFiles/autodml_ml.dir/micro_trainer.cpp.o" "gcc" "src/ml/CMakeFiles/autodml_ml.dir/micro_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autodml_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/autodml_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autodml_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

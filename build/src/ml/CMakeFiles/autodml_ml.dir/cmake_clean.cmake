@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_ml.dir/convergence.cpp.o"
+  "CMakeFiles/autodml_ml.dir/convergence.cpp.o.d"
+  "CMakeFiles/autodml_ml.dir/curve_fit.cpp.o"
+  "CMakeFiles/autodml_ml.dir/curve_fit.cpp.o.d"
+  "CMakeFiles/autodml_ml.dir/micro_trainer.cpp.o"
+  "CMakeFiles/autodml_ml.dir/micro_trainer.cpp.o.d"
+  "libautodml_ml.a"
+  "libautodml_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

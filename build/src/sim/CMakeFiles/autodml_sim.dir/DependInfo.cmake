@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/allreduce_runtime.cpp" "src/sim/CMakeFiles/autodml_sim.dir/allreduce_runtime.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/allreduce_runtime.cpp.o.d"
+  "/root/repo/src/sim/analytic_model.cpp" "src/sim/CMakeFiles/autodml_sim.dir/analytic_model.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/autodml_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/autodml_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/flow_network.cpp" "src/sim/CMakeFiles/autodml_sim.dir/flow_network.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/flow_network.cpp.o.d"
+  "/root/repo/src/sim/job.cpp" "src/sim/CMakeFiles/autodml_sim.dir/job.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/job.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/sim/CMakeFiles/autodml_sim.dir/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sim/ps_runtime.cpp" "src/sim/CMakeFiles/autodml_sim.dir/ps_runtime.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/ps_runtime.cpp.o.d"
+  "/root/repo/src/sim/system_sim.cpp" "src/sim/CMakeFiles/autodml_sim.dir/system_sim.cpp.o" "gcc" "src/sim/CMakeFiles/autodml_sim.dir/system_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autodml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

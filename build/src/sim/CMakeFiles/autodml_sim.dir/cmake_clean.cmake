@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_sim.dir/allreduce_runtime.cpp.o"
+  "CMakeFiles/autodml_sim.dir/allreduce_runtime.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/analytic_model.cpp.o"
+  "CMakeFiles/autodml_sim.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/cluster.cpp.o"
+  "CMakeFiles/autodml_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/autodml_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/autodml_sim.dir/flow_network.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/job.cpp.o"
+  "CMakeFiles/autodml_sim.dir/job.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/autodml_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/ps_runtime.cpp.o"
+  "CMakeFiles/autodml_sim.dir/ps_runtime.cpp.o.d"
+  "CMakeFiles/autodml_sim.dir/system_sim.cpp.o"
+  "CMakeFiles/autodml_sim.dir/system_sim.cpp.o.d"
+  "libautodml_sim.a"
+  "libautodml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_util.dir/arg_parse.cpp.o"
+  "CMakeFiles/autodml_util.dir/arg_parse.cpp.o.d"
+  "CMakeFiles/autodml_util.dir/csv.cpp.o"
+  "CMakeFiles/autodml_util.dir/csv.cpp.o.d"
+  "CMakeFiles/autodml_util.dir/json.cpp.o"
+  "CMakeFiles/autodml_util.dir/json.cpp.o.d"
+  "CMakeFiles/autodml_util.dir/log.cpp.o"
+  "CMakeFiles/autodml_util.dir/log.cpp.o.d"
+  "CMakeFiles/autodml_util.dir/rng.cpp.o"
+  "CMakeFiles/autodml_util.dir/rng.cpp.o.d"
+  "CMakeFiles/autodml_util.dir/stats.cpp.o"
+  "CMakeFiles/autodml_util.dir/stats.cpp.o.d"
+  "CMakeFiles/autodml_util.dir/string_util.cpp.o"
+  "CMakeFiles/autodml_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/autodml_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/autodml_util.dir/thread_pool.cpp.o.d"
+  "libautodml_util.a"
+  "libautodml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

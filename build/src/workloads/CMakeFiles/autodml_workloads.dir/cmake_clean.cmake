@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodml_workloads.dir/evaluator.cpp.o"
+  "CMakeFiles/autodml_workloads.dir/evaluator.cpp.o.d"
+  "CMakeFiles/autodml_workloads.dir/objective_adapter.cpp.o"
+  "CMakeFiles/autodml_workloads.dir/objective_adapter.cpp.o.d"
+  "CMakeFiles/autodml_workloads.dir/workload.cpp.o"
+  "CMakeFiles/autodml_workloads.dir/workload.cpp.o.d"
+  "libautodml_workloads.a"
+  "libautodml_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodml_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

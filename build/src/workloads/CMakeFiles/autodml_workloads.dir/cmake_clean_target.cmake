@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautodml_workloads.a"
+)

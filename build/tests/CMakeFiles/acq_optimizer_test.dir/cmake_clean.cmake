@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acq_optimizer_test.dir/acq_optimizer_test.cpp.o"
+  "CMakeFiles/acq_optimizer_test.dir/acq_optimizer_test.cpp.o.d"
+  "acq_optimizer_test"
+  "acq_optimizer_test.pdb"
+  "acq_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acq_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

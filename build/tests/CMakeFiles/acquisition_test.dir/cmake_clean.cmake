@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acquisition_test.dir/acquisition_test.cpp.o"
+  "CMakeFiles/acquisition_test.dir/acquisition_test.cpp.o.d"
+  "acquisition_test"
+  "acquisition_test.pdb"
+  "acquisition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acquisition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bo_tuner_test.dir/bo_tuner_test.cpp.o"
+  "CMakeFiles/bo_tuner_test.dir/bo_tuner_test.cpp.o.d"
+  "bo_tuner_test"
+  "bo_tuner_test.pdb"
+  "bo_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bo_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

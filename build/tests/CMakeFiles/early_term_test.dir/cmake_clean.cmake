@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_term_test.dir/early_term_test.cpp.o"
+  "CMakeFiles/early_term_test.dir/early_term_test.cpp.o.d"
+  "early_term_test"
+  "early_term_test.pdb"
+  "early_term_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_term_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

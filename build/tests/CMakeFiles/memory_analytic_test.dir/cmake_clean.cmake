@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_analytic_test.dir/memory_analytic_test.cpp.o"
+  "CMakeFiles/memory_analytic_test.dir/memory_analytic_test.cpp.o.d"
+  "memory_analytic_test"
+  "memory_analytic_test.pdb"
+  "memory_analytic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_analytic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

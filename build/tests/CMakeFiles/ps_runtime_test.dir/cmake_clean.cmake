@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_runtime_test.dir/ps_runtime_test.cpp.o"
+  "CMakeFiles/ps_runtime_test.dir/ps_runtime_test.cpp.o.d"
+  "ps_runtime_test"
+  "ps_runtime_test.pdb"
+  "ps_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

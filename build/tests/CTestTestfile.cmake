@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/math_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/gp_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_network_test[1]_include.cmake")
+include("/root/repo/build/tests/ps_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/allreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_analytic_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/acquisition_test[1]_include.cmake")
+include("/root/repo/build/tests/surrogate_test[1]_include.cmake")
+include("/root/repo/build/tests/early_term_test[1]_include.cmake")
+include("/root/repo/build/tests/bo_tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/acq_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
