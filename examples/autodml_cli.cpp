@@ -2,6 +2,10 @@
 //
 // Subcommands (first positional argument):
 //   workloads                      list the workload suite
+//   lint       [--workload=W|--all|--demo]
+//                                  static-analyze configuration spaces;
+//                                  --demo lints a deliberately malformed
+//                                  space to showcase the diagnostic codes
 //   space      --workload=W        print the configuration space
 //   evaluate   --workload=W [--config=k=v,k=v,...]
 //                                  ground-truth evaluation of one config
@@ -16,6 +20,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "analysis/space_lint.h"
 #include "core/bo_tuner.h"
 #include "core/sensitivity.h"
 #include "core/session_io.h"
@@ -79,6 +84,54 @@ void cmd_space(const wl::Workload& workload) {
                  .c_str(),
              stdout);
   std::printf("encoded dimension: %zu\n", space.encoded_dimension());
+}
+
+void print_lint_report(const analysis::LintReport& report) {
+  if (report.diagnostics.empty()) {
+    std::printf("clean: no diagnostics\n");
+    return;
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& d : report.diagnostics) {
+    rows.push_back({d.code, std::string(analysis::to_string(d.severity)),
+                    d.param.empty() ? "<space>" : d.param, d.message,
+                    d.fix_hint});
+  }
+  std::fputs(util::render_table({"code", "severity", "parameter", "finding",
+                                 "fix hint"},
+                                rows)
+                 .c_str(),
+             stdout);
+  std::printf("%zu error(s), %zu warning(s)\n", report.error_count(),
+              report.warning_count());
+}
+
+int cmd_lint(const util::ArgParser& args) {
+  const analysis::SpaceLinter linter;
+  if (args.get_bool("demo", false)) {
+    const auto drafts = analysis::malformed_demo_space();
+    std::printf("linting deliberately malformed demo space (%zu params)\n",
+                drafts.size());
+    const analysis::LintReport report =
+        linter.lint(std::span<const analysis::ParamDraft>(drafts));
+    print_lint_report(report);
+    return report.has_errors() ? 1 : 0;
+  }
+  std::vector<const wl::Workload*> targets;
+  if (args.has("workload") && !args.get_bool("all", false)) {
+    targets.push_back(&wl::workload_by_name(args.get("workload", "")));
+  } else {
+    for (const auto& w : wl::workload_suite()) targets.push_back(&w);
+  }
+  bool any_errors = false;
+  for (const wl::Workload* w : targets) {
+    std::printf("-- %s\n", w->name.c_str());
+    const analysis::LintReport report =
+        linter.lint(wl::build_config_space(*w));
+    print_lint_report(report);
+    any_errors = any_errors || report.has_errors();
+  }
+  return any_errors ? 1 : 0;
 }
 
 conf::Config parse_config_overrides(const conf::ConfigSpace& space,
@@ -232,9 +285,10 @@ int main(int argc, char** argv) {
       cmd_workloads();
       return 0;
     }
+    if (command == "lint") return cmd_lint(args);
     if (command.empty()) {
       std::fprintf(stderr,
-                   "usage: autodml_cli <workloads|space|evaluate|tune|"
+                   "usage: autodml_cli <workloads|lint|space|evaluate|tune|"
                    "importance> [--flags]\n");
       return 1;
     }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 + sanitizer gate.
+#
+# Runs, in order:
+#   1. the plain tier-1 build and test suite (ROADMAP.md contract);
+#   2. the same suite under ASan+UBSan with AUTODML_CHECKED invariants on;
+#   3. the same suite under TSan (exercises util/thread_pool and the
+#      parallel-BO driver);
+#   4. clang-tidy over src/ when the binary is available (the repo
+#      .clang-tidy defines the check set);
+#   5. the config-space linter over every shipped workload.
+#
+# Environment:
+#   JOBS=N        parallelism (default: nproc)
+#   SKIP_TSAN=1   skip the TSan leg (it is the slowest)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+run_suite() {
+  local dir=$1
+  shift
+  echo "==== configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==== build ${dir}"
+  cmake --build "${dir}" -j "${JOBS}" | tail -n 1
+  echo "==== test ${dir}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" | tail -n 3
+}
+
+run_suite build
+run_suite build-asan -DAUTODML_SANITIZE="address;undefined" -DAUTODML_CHECKED=ON
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  run_suite build-tsan -DAUTODML_SANITIZE=thread
+fi
+
+echo "==== clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t sources < <(git ls-files 'src/**/*.cpp')
+  clang-tidy -p build --quiet "${sources[@]}"
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+echo "==== config-space lint (shipped workloads)"
+./build/examples/autodml_cli lint --all
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,103 @@
+// Config-space linter: static checks that run before any tuning budget is
+// spent.
+//
+// A single mis-specified space silently wastes an entire BO run — a
+// conditional knob whose condition can never fire explores a dead axis, a
+// log-scale range that crosses zero NaN-poisons the encoder, an inverted
+// bound inverts the whole response surface. The linter walks a space
+// definition and reports every such defect as a structured Diagnostic
+// (see diagnostics.h) instead of throwing on the first one.
+//
+// Two entry points:
+//   - lint(drafts): checks a *declarative* description (ParamDraft) before
+//     ConfigSpace construction. This is the wide net: it catches everything
+//     the ParamSpec factories would reject one-by-one (inverted bounds,
+//     empty menus, bad log ranges, ...) plus whole-graph defects the
+//     factories cannot see (duplicate names, cycles, unreachable
+//     parameters, parents declared after children).
+//   - lint(space): checks an already-built ConfigSpace. Construction
+//     enforces some invariants, but legal-yet-broken spaces still exist
+//     (duplicate categorical entries, infinite continuous bounds, vacuous
+//     conditions, singleton domains) and the encoded dimension can be
+//     checked against what a surrogate expects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "config/config_space.h"
+#include "config/param.h"
+
+namespace autodml::analysis {
+
+/// Unvalidated parameter description: the same fields a ParamSpec holds,
+/// but with no factory invariants enforced, so a linter can inspect a
+/// malformed definition instead of dying on the first bad factory call.
+struct ParamDraft {
+  std::string name;
+  conf::ParamKind kind = conf::ParamKind::kContinuous;
+  std::int64_t int_lo = 0;
+  std::int64_t int_hi = 0;
+  double cont_lo = 0.0;
+  double cont_hi = 0.0;
+  bool log_scale = false;
+  std::vector<std::int64_t> int_choices;
+  std::vector<std::string> categories;
+  std::string parent;  // empty: unconditional
+  std::vector<std::string> parent_values;
+  /// Explicit default; nullopt derives the canonical one (lo / first entry /
+  /// false) exactly as ParamSpec::default_value() does.
+  std::optional<conf::ParamValue> default_value;
+
+  static ParamDraft from_spec(const conf::ParamSpec& spec);
+
+  // Convenience builders for tests and demos (no validation, by design).
+  static ParamDraft integer(std::string name, std::int64_t lo, std::int64_t hi,
+                            bool log_scale = false);
+  static ParamDraft int_choice(std::string name,
+                               std::vector<std::int64_t> choices);
+  static ParamDraft continuous(std::string name, double lo, double hi,
+                               bool log_scale = false);
+  static ParamDraft categorical(std::string name,
+                                std::vector<std::string> categories);
+  static ParamDraft boolean(std::string name);
+  ParamDraft& only_when(std::string parent_name,
+                        std::vector<std::string> values);
+};
+
+class SpaceLinter {
+ public:
+  struct Options {
+    /// When set, the summed encoded width of the space must equal this
+    /// (e.g. the input dimension a fitted surrogate expects).
+    std::optional<std::size_t> expected_encoded_dim;
+    /// Linear-scale ranges spanning at least this many decades get a
+    /// "consider log_scale" warning (L104).
+    double wide_range_decades = 4.0;
+    /// One-hot categorical blocks wider than this get L105.
+    std::size_t onehot_warn_width = 12;
+  };
+
+  SpaceLinter() = default;
+  explicit SpaceLinter(Options options) : options_(options) {}
+
+  LintReport lint(std::span<const ParamDraft> drafts) const;
+  LintReport lint(const conf::ConfigSpace& space) const;
+
+ private:
+  Options options_;
+};
+
+/// Throws std::invalid_argument carrying the full report when it has any
+/// error-severity diagnostic; `context` prefixes the message.
+void throw_if_errors(const LintReport& report, std::string_view context);
+
+/// A deliberately malformed draft space exercising most error codes; used
+/// by `autodml_cli lint --demo` and the linter's own tests.
+std::vector<ParamDraft> malformed_demo_space();
+
+}  // namespace autodml::analysis

@@ -63,6 +63,13 @@ core::TuningResult grid_search(core::ObjectiveFunction& objective,
   return result;
 }
 
+// GCC 12 issues a -Wmaybe-uninitialized false positive from the string
+// alternative of ParamValue when vector<ParamValue>::push_back's growth
+// path is inlined here (libstdc++ variant storage, cf. GCC PR105562).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 core::TuningResult coordinate_descent(
     core::ObjectiveFunction& objective, int max_evaluations,
     std::uint64_t seed, const CoordinateDescentOptions& options) {
@@ -99,6 +106,7 @@ core::TuningResult coordinate_descent(
           const std::size_t card = p.cardinality();
           const std::size_t n = std::min<std::size_t>(
               card, static_cast<std::size_t>(options.values_per_continuous_axis));
+          values.reserve(n);
           for (std::size_t k = 0; k < n; ++k) {
             const double frac =
                 n == 1 ? 0.5
@@ -114,6 +122,7 @@ core::TuningResult coordinate_descent(
           break;
         case conf::ParamKind::kContinuous: {
           const int n = options.values_per_continuous_axis;
+          values.reserve(static_cast<std::size_t>(n));
           for (int k = 0; k < n; ++k) {
             const double frac = (static_cast<double>(k) + 0.5) /
                                 static_cast<double>(n);
@@ -152,6 +161,9 @@ core::TuningResult coordinate_descent(
   }
   return result;
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 core::TuningResult simulated_annealing(core::ObjectiveFunction& objective,
                                        int max_evaluations,

@@ -8,6 +8,10 @@
 
 namespace autodml::baselines {
 
+// Deliberately single-threaded: each round evaluates its constant-liar
+// batch sequentially and charges the *slowest* member to wall_clock_seconds,
+// modeling q machines running in parallel. Real threads would break
+// determinism without changing any number this baseline reports.
 ParallelBoResult parallel_bo(core::ObjectiveFunction& objective,
                              const ParallelBoOptions& options) {
   if (options.batch_size < 1 || options.rounds < 1)

@@ -8,13 +8,27 @@ namespace autodml::conf {
 
 // ---- Config ----------------------------------------------------------------
 
-const ParamValue& Config::ref(std::string_view name) const {
+Config::Config(const ConfigSpace* space, std::vector<ParamValue> values)
+    : space_(space), values_(std::move(values)) {
+  if (space_ != nullptr) space_alive_ = space_->liveness_token();
+}
+
+void Config::require_space_alive() const {
   if (space_ == nullptr) throw std::logic_error("Config: no space bound");
+  if (space_alive_.expired()) {
+    throw std::logic_error(
+        "Config: bound ConfigSpace has been destroyed (the space must "
+        "outlive every config created from it)");
+  }
+}
+
+const ParamValue& Config::ref(std::string_view name) const {
+  require_space_alive();
   return values_.at(space_->index_of(name));
 }
 
 ParamValue& Config::mut_ref(std::string_view name) {
-  if (space_ == nullptr) throw std::logic_error("Config: no space bound");
+  require_space_alive();
   return values_.at(space_->index_of(name));
 }
 
@@ -48,6 +62,15 @@ void Config::set_bool(std::string_view name, bool v) { mut_ref(name) = v; }
 
 std::string Config::to_string() const {
   if (space_ == nullptr) return "<unbound>";
+  if (space_alive_.expired()) {
+    // Render raw values rather than touching the dead space.
+    std::string out = "<stale space>";
+    for (const auto& v : values_) {
+      out += ' ';
+      out += conf::to_string(v);
+    }
+    return out;
+  }
   std::string out;
   for (std::size_t i = 0; i < values_.size(); ++i) {
     if (i) out += ' ';

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -30,11 +31,19 @@ class ConfigSpace;
 /// One concrete configuration: values aligned with the space's parameter
 /// order. Holds a non-owning pointer to its space, which must outlive it
 /// (spaces are created once per workload and live for the whole run).
+///
+/// Lifetime contract. The space pointer is deliberately non-owning —
+/// configs are copied in bulk on hot paths and must not pin a space alive.
+/// To make violations loud instead of undefined, each Config carries a
+/// weak reference to its space's liveness token: name-based accessors
+/// (get_*/set_* via ref()) throw std::logic_error once the space is gone.
+/// Index-based access (value_at) stays unchecked on purpose: warm-start
+/// trials legitimately carry values from a destroyed space instance and
+/// are re-bound via ConfigSpace::neighbor/validate before use.
 class Config {
  public:
   Config() = default;
-  Config(const ConfigSpace* space, std::vector<ParamValue> values)
-      : space_(space), values_(std::move(values)) {}
+  Config(const ConfigSpace* space, std::vector<ParamValue> values);
 
   const ConfigSpace* space() const { return space_; }
   std::size_t size() const { return values_.size(); }
@@ -64,8 +73,10 @@ class Config {
  private:
   const ParamValue& ref(std::string_view name) const;
   ParamValue& mut_ref(std::string_view name);
+  void require_space_alive() const;
 
   const ConfigSpace* space_ = nullptr;
+  std::weak_ptr<const char> space_alive_;
   std::vector<ParamValue> values_;
 };
 
@@ -127,12 +138,17 @@ class ConfigSpace {
   /// (throws if continuous params exist or the count exceeds max_points).
   std::vector<Config> enumerate(std::size_t max_points = 2'000'000) const;
 
+  /// Liveness token handed to configs bound to this space; expires when the
+  /// space is destroyed (see the Config lifetime contract above).
+  std::weak_ptr<const char> liveness_token() const { return liveness_; }
+
  private:
   double encode_scalar(const ParamSpec& p, const ParamValue& v) const;
   ParamValue decode_scalar(const ParamSpec& p, double u) const;
 
   std::vector<ParamSpec> params_;
   std::map<std::string, std::size_t, std::less<>> index_;
+  std::shared_ptr<const char> liveness_ = std::make_shared<const char>('\0');
 };
 
 }  // namespace autodml::conf

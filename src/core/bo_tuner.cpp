@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/space_lint.h"
 #include "config/sampler.h"
 #include "util/log.h"
 
@@ -13,6 +14,26 @@ BoTuner::BoTuner(ObjectiveFunction& objective, BoOptions options)
       rng_(options_.seed),
       surrogate_(objective.space(), options_.surrogate,
                  util::Rng(options_.seed).split().next_u64()) {
+  // Lint before any budget is spent: one evaluation is expensive, and a
+  // broken space (dead conditional, log range crossing zero, ...) would
+  // silently waste the whole run. Errors are fatal; warnings are logged.
+  const analysis::LintReport report =
+      analysis::SpaceLinter().lint(objective.space());
+  for (const auto& d : report.diagnostics) {
+    if (d.severity == analysis::Severity::kWarning) {
+      ADML_WARN << "config-space lint: " << d.to_string();
+    }
+  }
+  analysis::throw_if_errors(report, "BoTuner");
+  for (const Trial& t : options_.warm_start) {
+    if (t.config.size() != objective.space().num_params()) {
+      throw std::invalid_argument(
+          "BoTuner: warm-start trial carries " +
+          std::to_string(t.config.size()) + " values but the space has " +
+          std::to_string(objective.space().num_params()) +
+          " parameters (stale session file?)");
+    }
+  }
   options_.early_term.target_metric = objective.target_metric();
   options_.early_term.objective_is_cost = objective.objective_is_cost();
   history_ = options_.warm_start;

@@ -62,6 +62,10 @@ GaussianProcess::LmlResult GaussianProcess::negative_lml(
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       const double v = k->eval(x_.row(i), x_.row(j));
+      AUTODML_CHECK(std::isfinite(v),
+                    "GP kernel produced non-finite value " +
+                        std::to_string(v) + " for training pair (" +
+                        std::to_string(i) + "," + std::to_string(j) + ")");
       gram(i, j) = v;
       gram(j, i) = v;
     }
@@ -116,6 +120,10 @@ void GaussianProcess::factorize() {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       const double v = kernel_->eval(x_.row(i), x_.row(j));
+      AUTODML_CHECK(std::isfinite(v),
+                    "GP kernel produced non-finite value " +
+                        std::to_string(v) + " for training pair (" +
+                        std::to_string(i) + "," + std::to_string(j) + ")");
       gram(i, j) = v;
       gram(j, i) = v;
     }
@@ -132,6 +140,8 @@ void GaussianProcess::refit(const math::Matrix& x, std::span<const double> y) {
     throw std::invalid_argument("GaussianProcess: empty training set");
   if (x.cols() != kernel_->input_dim())
     throw std::invalid_argument("GaussianProcess: input dimension mismatch");
+  math::check_finite(x.data(), "GP training inputs");
+  math::check_finite(y, "GP training targets");
   x_ = x;
   targets_raw_.assign(y.begin(), y.end());
   if (options_.standardize_targets) {
@@ -216,9 +226,11 @@ void GaussianProcess::fit(const math::Matrix& x, std::span<const double> y,
 
 GpPrediction GaussianProcess::predict(std::span<const double> x) const {
   if (!factor_) throw std::logic_error("GaussianProcess: predict before fit");
+  math::check_finite(x, "GP prediction input");
   const std::size_t n = targets_std_.size();
   math::Vec k_star(n);
   for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel_->eval(x_.row(i), x);
+  math::check_finite(k_star, "GP cross-covariance");
 
   const double mean_std = math::dot(k_star, alpha_);
   const math::Vec v = factor_->solve_lower(k_star);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace autodml::math {
 
@@ -42,14 +43,27 @@ double CholeskyFactor::log_det() const {
   return 2.0 * acc;
 }
 
-std::optional<CholeskyFactor> cholesky(const Matrix& a) {
+namespace {
+
+// Shared factorization core. On failure, `bad_pivot`/`bad_diag` (when
+// non-null) receive the row whose pivot went non-positive or non-finite and
+// the value it reached — the caller's error message names the culprit
+// instead of reporting a bare "not positive definite".
+std::optional<CholeskyFactor> cholesky_impl(const Matrix& a,
+                                            std::size_t* bad_pivot,
+                                            double* bad_diag) {
   if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: not square");
+  check_finite(a, "cholesky input");
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      if (bad_pivot != nullptr) *bad_pivot = j;
+      if (bad_diag != nullptr) *bad_diag = diag;
+      return std::nullopt;
+    }
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -61,9 +75,17 @@ std::optional<CholeskyFactor> cholesky(const Matrix& a) {
   return CholeskyFactor{std::move(l), 0.0};
 }
 
+}  // namespace
+
+std::optional<CholeskyFactor> cholesky(const Matrix& a) {
+  return cholesky_impl(a, nullptr, nullptr);
+}
+
 CholeskyFactor cholesky_with_jitter(const Matrix& a, double initial_jitter,
                                     int max_tries) {
-  if (auto f = cholesky(a)) return *f;
+  std::size_t bad_pivot = 0;
+  double bad_diag = 0.0;
+  if (auto f = cholesky_impl(a, &bad_pivot, &bad_diag)) return *f;
   // Scale the jitter to the problem: use the mean diagonal magnitude.
   double mean_diag = 0.0;
   for (std::size_t i = 0; i < a.rows(); ++i) mean_diag += std::abs(a(i, i));
@@ -74,13 +96,15 @@ CholeskyFactor cholesky_with_jitter(const Matrix& a, double initial_jitter,
   for (int attempt = 0; attempt < max_tries; ++attempt, jitter *= 10.0) {
     Matrix boosted = a;
     boosted.add_to_diagonal(jitter);
-    if (auto f = cholesky(boosted)) {
+    if (auto f = cholesky_impl(boosted, &bad_pivot, &bad_diag)) {
       f->jitter = jitter;
       return *f;
     }
   }
   throw std::runtime_error(
-      "cholesky_with_jitter: matrix not PD even with maximum jitter");
+      "cholesky_with_jitter: matrix not PD even with maximum jitter (pivot " +
+      std::to_string(bad_pivot) + " reached " + std::to_string(bad_diag) +
+      " on the last attempt)");
 }
 
 }  // namespace autodml::math

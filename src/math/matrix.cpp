@@ -94,6 +94,35 @@ void Matrix::add_to_diagonal(double value) {
   for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += value;
 }
 
+void check_finite(const Matrix& m, const char* what) {
+#if AUTODML_CHECKED_ENABLED
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      AUTODML_CHECK(std::isfinite(m(i, j)),
+                    std::string(what) + ": non-finite entry " +
+                        std::to_string(m(i, j)) + " at (" + std::to_string(i) +
+                        "," + std::to_string(j) + ")");
+    }
+  }
+#else
+  (void)m;
+  (void)what;
+#endif
+}
+
+void check_finite(std::span<const double> v, const char* what) {
+#if AUTODML_CHECKED_ENABLED
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    AUTODML_CHECK(std::isfinite(v[i]),
+                  std::string(what) + ": non-finite entry " +
+                      std::to_string(v[i]) + " at index " + std::to_string(i));
+  }
+#else
+  (void)v;
+  (void)what;
+#endif
+}
+
 double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows() || a.cols() != b.cols())
     throw std::invalid_argument("max_abs_diff: shape mismatch");

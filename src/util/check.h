@@ -1,0 +1,41 @@
+// AUTODML_CHECKED build mode: numerical invariant checks.
+//
+// Configure with -DAUTODML_CHECKED=ON to compile NaN/Inf guards and
+// bounds-checked element access into the math/GP hot paths. A violated
+// invariant throws std::logic_error naming the source location and the
+// offending index, instead of letting a silent NaN corrupt every posterior
+// computed afterwards. Release builds compile the checks out entirely;
+// the condition expression is not even evaluated.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#ifdef AUTODML_CHECKED
+#define AUTODML_CHECKED_ENABLED 1
+#else
+#define AUTODML_CHECKED_ENABLED 0
+#endif
+
+namespace autodml::util {
+
+[[noreturn]] inline void checked_failure(const char* file, int line,
+                                         const std::string& msg) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": invariant violated: " + msg);
+}
+
+}  // namespace autodml::util
+
+#if AUTODML_CHECKED_ENABLED
+#define AUTODML_CHECK(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::autodml::util::checked_failure(__FILE__, __LINE__, (msg));   \
+    }                                                                \
+  } while (0)
+#else
+#define AUTODML_CHECK(cond, msg) \
+  do {                           \
+  } while (0)
+#endif

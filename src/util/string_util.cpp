@@ -39,7 +39,7 @@ std::string_view trim(std::string_view s) {
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+  return s.starts_with(prefix);
 }
 
 std::string to_lower(std::string_view s) {

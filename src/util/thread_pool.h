@@ -1,7 +1,16 @@
 // Fixed-size thread pool.
 //
 // Used by benches to replicate stochastic experiments across seeds in
-// parallel; library code itself is single-threaded and deterministic.
+// parallel; library code itself is single-threaded and deterministic
+// (baselines::parallel_bo in particular *simulates* q-way parallelism
+// with constant-liar batches and wall-clock accounting — it never
+// spawns threads).
+//
+// Shutdown contract: the destructor marks the pool stopped, wakes every
+// worker, and joins. Workers keep pulling until the queue is drained, so
+// every submitted task runs to completion before ~ThreadPool returns;
+// submit() after the destructor has started throws std::logic_error.
+// A task that throws stores its exception in the matching future.
 #pragma once
 
 #include <condition_variable>

@@ -22,6 +22,48 @@ BoOptions fast_options(std::uint64_t seed, int evals) {
   return options;
 }
 
+// A constructible space the linter must reject: duplicate categorical
+// entries make the one-hot encoding ambiguous (diagnostic L011).
+class BrokenSpaceObjective final : public ObjectiveFunction {
+ public:
+  BrokenSpaceObjective() {
+    space_.add(conf::ParamSpec::categorical("mode", {"a", "a"}));
+  }
+  const conf::ConfigSpace& space() const override { return space_; }
+  double target_metric() const override { return 0.9; }
+  RunOutcome run(const conf::Config&, RunController*) override {
+    ++runs_;
+    return RunOutcome{};
+  }
+  int runs() const { return runs_; }
+
+ private:
+  conf::ConfigSpace space_;
+  int runs_ = 0;
+};
+
+TEST(BoTuner, RefusesSpaceWithLintErrorsBeforeSpendingBudget) {
+  BrokenSpaceObjective objective;
+  try {
+    BoTuner tuner(objective, fast_options(1, 5));
+    FAIL() << "BoTuner accepted a space with lint errors";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("L011"), std::string::npos) << what;
+    EXPECT_NE(what.find("mode"), std::string::npos) << what;
+  }
+  EXPECT_EQ(objective.runs(), 0);  // no evaluation budget was spent
+}
+
+TEST(BoTuner, RejectsWarmStartTrialsFromDifferentSpaceShape) {
+  SyntheticObjective objective;
+  BoOptions options = fast_options(1, 5);
+  Trial stale;
+  stale.config = conf::Config(&objective.space(), {});  // zero values
+  options.warm_start.push_back(stale);
+  EXPECT_THROW(BoTuner(objective, std::move(options)), std::invalid_argument);
+}
+
 TEST(BoTuner, RespectsEvaluationBudgetExactly) {
   SyntheticObjective objective;
   BoTuner tuner(objective, fast_options(1, 15));

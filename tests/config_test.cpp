@@ -179,6 +179,33 @@ TEST(ConfigSpace, ValidateRejectsWrongWidthConfig) {
   EXPECT_THROW(space.validate(c), std::invalid_argument);
 }
 
+// ---- lifetime contract ----------------------------------------------------
+
+TEST(Config, NameBasedAccessThrowsAfterSpaceDestruction) {
+  auto space = std::make_unique<ConfigSpace>(small_space());
+  Config c = space->default_config();
+  EXPECT_EQ(c.get_cat("mode"), "a");
+  space.reset();
+  // Name-based access needs the space; it must fail loudly, not dangle.
+  EXPECT_THROW(c.get_cat("mode"), std::logic_error);
+  EXPECT_THROW(c.set_int("size", 16), std::logic_error);
+  // Index-based access carries no space dependency and keeps working
+  // (warm-start trials rely on this; see the Config lifetime contract).
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_NO_THROW(c.value_at(0));
+  // to_string degrades to raw values instead of touching the dead space.
+  EXPECT_NE(c.to_string().find("<stale space>"), std::string::npos);
+}
+
+TEST(Config, MovedSpaceKeepsItsConfigsAlive) {
+  ConfigSpace original = small_space();
+  Config c = original.default_config();
+  const ConfigSpace moved = std::move(original);
+  // The liveness token moves with the space's storage; the config stays
+  // usable for value access against the moved-to space via validate().
+  EXPECT_NO_THROW(moved.validate(c));
+}
+
 // ---- encode / decode ------------------------------------------------------------------
 
 TEST(ConfigSpace, EncodeRangeIsUnitCube) {

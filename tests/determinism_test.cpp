@@ -62,7 +62,9 @@ TEST(Determinism, EvaluatorSequencesReproduce) {
     const wl::EvalResult ra = eval_a.evaluate(ca);
     const wl::EvalResult rb = eval_b.evaluate(cb);
     EXPECT_EQ(ra.feasible, rb.feasible);
-    if (ra.feasible) EXPECT_DOUBLE_EQ(ra.tta_seconds, rb.tta_seconds);
+    if (ra.feasible) {
+      EXPECT_DOUBLE_EQ(ra.tta_seconds, rb.tta_seconds);
+    }
   }
   EXPECT_DOUBLE_EQ(eval_a.total_spent_seconds(), eval_b.total_spent_seconds());
 }
@@ -150,7 +152,9 @@ TEST(ClusterEdge, SingleWorkerClusterWorksEverywhere) {
     evaluator.space().canonicalize(c);
     const wl::EvalResult r = evaluator.evaluate_ground_truth(c);
     // One worker must always be *runnable* (feasible or a clean failure).
-    if (!r.feasible) EXPECT_FALSE(r.failure.empty());
+    if (!r.feasible) {
+      EXPECT_FALSE(r.failure.empty());
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "math/cholesky.h"
 #include "math/matrix.h"
@@ -154,6 +155,71 @@ TEST(Cholesky, JitterGivesUpOnNegativeDefinite) {
   m(0, 0) = -10.0;
   m(1, 1) = -10.0;
   EXPECT_THROW(cholesky_with_jitter(m, 1e-10, 3), std::runtime_error);
+}
+
+TEST(Cholesky, JitterFailureNamesOffendingPivot) {
+  Matrix m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = -50.0;  // pivot 1 is the culprit
+  m(2, 2) = 1.0;
+  try {
+    cholesky_with_jitter(m, 1e-10, 3);
+    FAIL() << "expected cholesky_with_jitter to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pivot 1"), std::string::npos) << what;
+  }
+}
+
+// ---- AUTODML_CHECKED invariants (active in scripts/check.sh's ASan leg) ----
+
+TEST(CheckedMode, MatrixIndexOutOfBoundsThrows) {
+#if AUTODML_CHECKED_ENABLED
+  Matrix m(2, 3);
+  EXPECT_THROW(m(2, 0), std::logic_error);
+  EXPECT_THROW(m(0, 3), std::logic_error);
+  EXPECT_THROW(m.row(2), std::logic_error);
+  EXPECT_NO_THROW(m(1, 2));
+#else
+  GTEST_SKIP() << "build with -DAUTODML_CHECKED=ON to enable";
+#endif
+}
+
+TEST(CheckedMode, CheckFiniteNamesOffendingEntry) {
+#if AUTODML_CHECKED_ENABLED
+  Matrix m(2, 2);
+  m(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  try {
+    check_finite(m, "test matrix");
+    FAIL() << "expected check_finite to throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("(1,0)"), std::string::npos) << what;
+    EXPECT_NE(what.find("test matrix"), std::string::npos) << what;
+  }
+  const Vec v = {0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(check_finite(v, "test vec"), std::logic_error);
+#else
+  Matrix m(2, 2);
+  m(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NO_THROW(check_finite(m, "test matrix"));  // compiled out
+#endif
+}
+
+TEST(CheckedMode, CholeskyRejectsNonFiniteInputWithLocation) {
+#if AUTODML_CHECKED_ENABLED
+  Matrix m = Matrix::identity(3);
+  m(2, 1) = std::numeric_limits<double>::quiet_NaN();
+  try {
+    cholesky(m);
+    FAIL() << "expected cholesky to throw on non-finite input";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("(2,1)"), std::string::npos)
+        << e.what();
+  }
+#else
+  GTEST_SKIP() << "build with -DAUTODML_CHECKED=ON to enable";
+#endif
 }
 
 TEST(Cholesky, SolveLowerUpperConsistency) {

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "analysis/space_lint.h"
+#include "workloads/workload.h"
+
+namespace autodml::analysis {
+namespace {
+
+using conf::ParamSpec;
+
+LintReport lint(const std::vector<ParamDraft>& drafts,
+                SpaceLinter::Options options = {}) {
+  return SpaceLinter(options).lint(std::span<const ParamDraft>(drafts));
+}
+
+/// Exactly one diagnostic with `code` exists and it names `param`.
+void expect_single(const LintReport& report, std::string_view code,
+                   std::string_view param) {
+  std::size_t count = 0;
+  for (const auto& d : report.diagnostics) {
+    if (d.code == code) {
+      ++count;
+      EXPECT_EQ(d.param, param) << d.to_string();
+      EXPECT_FALSE(d.message.empty());
+      EXPECT_FALSE(d.fix_hint.empty());
+    }
+  }
+  EXPECT_EQ(count, 1u) << "for code " << code << ":\n" << report.to_string();
+}
+
+// ---- clean spaces ----------------------------------------------------------
+
+TEST(SpaceLint, WellFormedSpaceIsClean) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::integer("workers", 1, 64, /*log_scale=*/true));
+  drafts.push_back(ParamDraft::categorical("sync", {"bsp", "ssp"}));
+  drafts.push_back(
+      ParamDraft::integer("staleness", 1, 16).only_when("sync", {"ssp"}));
+  drafts.push_back(ParamDraft::continuous("lr", 1e-4, 1.0, /*log_scale=*/true));
+  drafts.push_back(ParamDraft::boolean("pin_memory"));
+  const LintReport report = lint(drafts);
+  EXPECT_TRUE(report.diagnostics.empty()) << report.to_string();
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_NO_THROW(throw_if_errors(report, "test"));
+}
+
+TEST(SpaceLint, EveryShippedWorkloadSpaceIsErrorFree) {
+  for (const auto& w : wl::workload_suite()) {
+    const LintReport report = SpaceLinter().lint(wl::build_config_space(w));
+    EXPECT_FALSE(report.has_errors()) << w.name << ":\n" << report.to_string();
+  }
+}
+
+// ---- one test per error code ----------------------------------------------
+
+TEST(SpaceLint, L001DuplicateParam) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::boolean("x"));
+  drafts.push_back(ParamDraft::integer("x", 1, 4));
+  expect_single(lint(drafts), kDuplicateParam, "x");
+}
+
+TEST(SpaceLint, L002InvertedIntBounds) {
+  const auto report = lint({ParamDraft::integer("w", 64, 4)});
+  expect_single(report, kInvertedBounds, "w");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(SpaceLint, L002DegenerateContinuousBounds) {
+  expect_single(lint({ParamDraft::continuous("r", 0.5, 0.5)}),
+                kInvertedBounds, "r");
+}
+
+TEST(SpaceLint, L003LogScaleCrossingZeroContinuous) {
+  expect_single(lint({ParamDraft::continuous("lr", -1e-3, 1.0, true)}),
+                kLogScaleNonPositive, "lr");
+}
+
+TEST(SpaceLint, L003LogScaleBelowOneInteger) {
+  expect_single(lint({ParamDraft::integer("k", 0, 128, true)}),
+                kLogScaleNonPositive, "k");
+}
+
+TEST(SpaceLint, L004UnknownParent) {
+  expect_single(
+      lint({ParamDraft::integer("p", 1, 8).only_when("ghost", {"on"})}),
+      kUnknownParent, "p");
+}
+
+TEST(SpaceLint, L005ParentNotCategoricalOrBool) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::integer("n", 1, 8));
+  drafts.push_back(ParamDraft::integer("m", 1, 8).only_when("n", {"4"}));
+  expect_single(lint(drafts), kBadParentKind, "m");
+}
+
+TEST(SpaceLint, L006EnablingValueNotInParentDomain) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::categorical("sync", {"bsp", "ssp"}));
+  drafts.push_back(
+      ParamDraft::integer("s", 1, 16).only_when("sync", {"asp"}));
+  const auto report = lint(drafts);
+  expect_single(report, kUnknownParentValue, "s");
+  // The condition can then never fire.
+  expect_single(report, kUnreachableParam, "s");
+}
+
+TEST(SpaceLint, L007ConditionCycle) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::boolean("a").only_when("b", {"true"}));
+  drafts.push_back(ParamDraft::boolean("b").only_when("a", {"true"}));
+  const auto report = lint(drafts);
+  EXPECT_TRUE(report.has(kConditionCycle)) << report.to_string();
+  EXPECT_EQ(report.for_param("a").size() + report.for_param("b").size(),
+            report.diagnostics.size());
+}
+
+TEST(SpaceLint, L008UnreachableThroughAncestor) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::categorical("mode", {"x", "y"}));
+  // 'mid' can never activate; 'leaf' has a locally valid condition but an
+  // unreachable ancestor.
+  drafts.push_back(ParamDraft::boolean("mid").only_when("mode", {"z"}));
+  drafts.push_back(
+      ParamDraft::integer("leaf", 1, 4).only_when("mid", {"true"}));
+  const auto report = lint(drafts);
+  EXPECT_EQ(report.for_param("mid").size(), 2u) << report.to_string();  // L006+L008
+  expect_single(report, kUnknownParentValue, "mid");
+  const auto leaf = report.for_param("leaf");
+  ASSERT_EQ(leaf.size(), 1u) << report.to_string();
+  EXPECT_EQ(leaf[0].code, kUnreachableParam);
+}
+
+TEST(SpaceLint, L009EmptyMenu) {
+  expect_single(lint({ParamDraft::int_choice("b", {})}), kEmptyDomain, "b");
+  expect_single(lint({ParamDraft::categorical("c", {})}), kEmptyDomain, "c");
+}
+
+TEST(SpaceLint, L010UnsortedMenu) {
+  expect_single(lint({ParamDraft::int_choice("b", {256, 64, 128})}),
+                kUnsortedMenu, "b");
+}
+
+TEST(SpaceLint, L011DuplicateMenuEntries) {
+  expect_single(lint({ParamDraft::int_choice("b", {64, 64, 128})}),
+                kDuplicateMenuEntry, "b");
+  expect_single(lint({ParamDraft::categorical("c", {"a", "b", "a"})}),
+                kDuplicateMenuEntry, "c");
+}
+
+TEST(SpaceLint, L012DefaultOutsideDomain) {
+  ParamDraft d = ParamDraft::integer("shards", 1, 8);
+  d.default_value = std::int64_t{0};
+  expect_single(lint({d}), kDefaultOutOfRange, "shards");
+
+  ParamDraft c = ParamDraft::categorical("m", {"a", "b"});
+  c.default_value = std::string("z");
+  expect_single(lint({c}), kDefaultOutOfRange, "m");
+}
+
+TEST(SpaceLint, L013EncodedDimensionMismatch) {
+  SpaceLinter::Options options;
+  options.expected_encoded_dim = 5;  // actual: 1 + 2 = 3
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::integer("n", 1, 8));
+  drafts.push_back(ParamDraft::categorical("m", {"a", "b"}));
+  const auto report = lint(drafts, options);
+  ASSERT_TRUE(report.has(kEncodedDimMismatch)) << report.to_string();
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_THROW(throw_if_errors(report, "test"), std::invalid_argument);
+}
+
+TEST(SpaceLint, L014NonFiniteBounds) {
+  expect_single(
+      lint({ParamDraft::continuous(
+          "m", 0.0, std::numeric_limits<double>::infinity())}),
+      kNonFiniteBound, "m");
+  expect_single(
+      lint({ParamDraft::continuous(
+          "n", std::numeric_limits<double>::quiet_NaN(), 1.0)}),
+      kNonFiniteBound, "n");
+}
+
+TEST(SpaceLint, L015ParentDeclaredAfterChild) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(
+      ParamDraft::integer("child", 1, 4).only_when("late", {"true"}));
+  drafts.push_back(ParamDraft::boolean("late"));
+  expect_single(lint(drafts), kParentAfterChild, "child");
+}
+
+// ---- one test per warning code ---------------------------------------------
+
+TEST(SpaceLint, L101VacuousCondition) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::boolean("flag"));
+  drafts.push_back(
+      ParamDraft::integer("k", 1, 4).only_when("flag", {"true", "false"}));
+  const auto report = lint(drafts);
+  expect_single(report, kVacuousCondition, "k");
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(SpaceLint, L102SingletonDomain) {
+  expect_single(lint({ParamDraft::integer("k", 7, 7)}), kSingletonDomain, "k");
+  expect_single(lint({ParamDraft::int_choice("b", {32})}), kSingletonDomain,
+                "b");
+}
+
+TEST(SpaceLint, L103DuplicateEnablingValue) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::categorical("m", {"a", "b", "c"}));
+  drafts.push_back(
+      ParamDraft::integer("k", 1, 4).only_when("m", {"a", "a"}));
+  const auto report = lint(drafts);
+  expect_single(report, kDuplicateEnablingValue, "k");
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(SpaceLint, L104WideLinearRange) {
+  const auto report = lint({ParamDraft::continuous("c", 1e-3, 1e3)});
+  expect_single(report, kLinearWideRange, "c");
+  // Log-scaled version of the same range is fine.
+  EXPECT_TRUE(
+      lint({ParamDraft::continuous("c", 1e-3, 1e3, true)}).diagnostics.empty());
+}
+
+TEST(SpaceLint, L105WideOneHotBlock) {
+  std::vector<std::string> cats;
+  for (int i = 0; i < 20; ++i) cats.push_back("c" + std::to_string(i));
+  expect_single(lint({ParamDraft::categorical("big", cats)}), kWideOneHot,
+                "big");
+}
+
+// ---- built-space linting ---------------------------------------------------
+
+TEST(SpaceLint, BuiltSpaceWithDuplicateCategoriesIsFlagged) {
+  // Legal per the ParamSpec factory, broken for one-hot encoding.
+  conf::ConfigSpace space;
+  space.add(ParamSpec::categorical("m", {"a", "a"}));
+  const LintReport report = SpaceLinter().lint(space);
+  EXPECT_TRUE(report.has(kDuplicateMenuEntry)) << report.to_string();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(SpaceLint, BuiltSpaceDimCheckedAgainstSurrogate) {
+  conf::ConfigSpace space;
+  space.add(ParamSpec::categorical("m", {"a", "b", "c"}));
+  space.add(ParamSpec::boolean("f"));
+  SpaceLinter::Options options;
+  options.expected_encoded_dim = space.encoded_dimension();
+  EXPECT_FALSE(SpaceLinter(options).lint(space).has(kEncodedDimMismatch));
+  options.expected_encoded_dim = space.encoded_dimension() + 1;
+  EXPECT_TRUE(SpaceLinter(options).lint(space).has(kEncodedDimMismatch));
+}
+
+// ---- demo space + report plumbing ------------------------------------------
+
+TEST(SpaceLint, MalformedDemoSpaceCoversAtLeastSixErrorCodes) {
+  const auto drafts = malformed_demo_space();
+  const LintReport report =
+      SpaceLinter().lint(std::span<const ParamDraft>(drafts));
+  std::set<std::string> error_codes;
+  for (const auto& d : report.diagnostics) {
+    if (d.severity == Severity::kError) error_codes.insert(d.code);
+  }
+  EXPECT_GE(error_codes.size(), 6u) << report.to_string();
+  EXPECT_THROW(throw_if_errors(report, "demo"), std::invalid_argument);
+}
+
+TEST(SpaceLint, ReportFormattingNamesCodeSeverityAndParam) {
+  const auto report = lint({ParamDraft::integer("w", 9, 3)});
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  const std::string line = report.diagnostics[0].to_string();
+  EXPECT_NE(line.find("L002"), std::string::npos) << line;
+  EXPECT_NE(line.find("error"), std::string::npos) << line;
+  EXPECT_NE(line.find("[w]"), std::string::npos) << line;
+  EXPECT_NE(line.find("hint:"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace autodml::analysis

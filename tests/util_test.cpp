@@ -356,5 +356,56 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+// The remaining ThreadPool tests exist mainly for the TSan leg of
+// scripts/check.sh: they drive the pool from many client threads at once
+// so the sanitizer sees the submit/worker/shutdown interleavings.
+
+TEST(ThreadPool, ConcurrentSubmittersFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> clients;
+  std::vector<std::future<int>> futures[8];  // one slot per client thread
+  clients.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&pool, &counter, &futures, t] {
+      for (int i = 0; i < 50; ++i) {
+        auto f = pool.submit([&counter, i] {
+          counter++;
+          return i;
+        });
+        futures[t].push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  int sum = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) sum += f.get();
+  }
+  EXPECT_EQ(counter.load(), 8 * 50);
+  EXPECT_EQ(sum, 8 * (49 * 50 / 2));
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&completed] { completed++; });
+    }
+    // Destructor must wait for every queued task, not just running ones.
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, SubmitAfterWorkCompletesStillRuns) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> counter{0};
+    parallel_for(pool, 20, [&](std::size_t) { counter++; });
+    EXPECT_EQ(counter.load(), 20);
+  }
+}
+
 }  // namespace
 }  // namespace autodml::util
