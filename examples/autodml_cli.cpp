@@ -12,13 +12,21 @@
 //   tune       --workload=W [--evals=N] [--seed=S] [--objective=time|cost]
 //              [--deadline-hours=H] [--acquisition=ei|logei|ucb|pi|eipercost]
 //              [--no-early-term] [--session=FILE] [--resume=FILE]
-//                                  run the tuner; optionally persist/resume
+//              [--journal=FILE] [--faults=off|light|heavy] [--retries=N]
+//                                  run the tuner; optionally persist/resume.
+//                                  --journal appends every trial to a
+//                                  crash-safe journal: rerunning the same
+//                                  command after a kill resumes the session.
+//                                  --faults injects transient faults and
+//                                  --retries supervises evaluations with
+//                                  retry + backoff
 //   importance --workload=W [--evals=N]
 //                                  tune briefly, print both sensitivity views
 //
 // Exit code 0 on success, 1 on user error, 2 on "no feasible config found".
 #include <cstdio>
 #include <exception>
+#include <memory>
 
 #include "analysis/space_lint.h"
 #include "core/bo_tuner.h"
@@ -27,6 +35,7 @@
 #include "util/arg_parse.h"
 #include "util/csv.h"
 #include "util/string_util.h"
+#include "workloads/eval_supervisor.h"
 #include "workloads/objective_adapter.h"
 
 using namespace autodml;
@@ -198,9 +207,34 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
     eval_options.deadline_seconds =
         args.get_double("deadline-hours", 0.0) * 3600.0;
   }
+  const std::string faults_name = args.get("faults", "off");
+  if (faults_name == "light") {
+    eval_options.faults = sim::light_fault_spec();
+  } else if (faults_name == "heavy") {
+    eval_options.faults = sim::heavy_fault_spec();
+  } else if (faults_name != "off") {
+    std::fprintf(stderr, "unknown --faults=%s (off|light|heavy)\n",
+                 faults_name.c_str());
+    return 1;
+  }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   wl::Evaluator evaluator(workload, seed, eval_options);
-  wl::EvaluatorObjective objective(evaluator);
+
+  // Under faults (or explicit --retries) evaluations go through the
+  // supervisor, which retries transient failures with backoff.
+  const bool supervised = eval_options.faults.enabled() || args.has("retries");
+  wl::RetryPolicy retry_policy;
+  if (args.has("retries")) {
+    retry_policy.max_attempts =
+        static_cast<int>(args.get_int("retries", 3));
+  }
+  wl::EvalSupervisor supervisor(evaluator, retry_policy, seed);
+  std::unique_ptr<core::ObjectiveFunction> objective;
+  if (supervised) {
+    objective = std::make_unique<wl::SupervisedObjective>(supervisor);
+  } else {
+    objective = std::make_unique<wl::EvaluatorObjective>(evaluator);
+  }
 
   core::BoOptions options;
   options.seed = seed;
@@ -208,6 +242,7 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
   options.acquisition =
       core::acquisition_from_string(args.get("acquisition", "logei"));
   options.early_term.enabled = !args.get_bool("no-early-term", false);
+  options.journal_path = args.get("journal", "");
   if (args.has("resume")) {
     options.warm_start =
         core::load_trials(args.get("resume", ""), evaluator.space());
@@ -216,8 +251,23 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
                 args.get("resume", "").c_str());
   }
 
-  core::BoTuner tuner(objective, options);
+  core::BoTuner tuner(*objective, options);
   const core::TuningResult result = tuner.tune();
+  if (tuner.replayed_trials() > 0) {
+    std::printf("journal %s: replayed %zu trials without re-evaluating\n",
+                options.journal_path.c_str(), tuner.replayed_trials());
+  }
+  if (supervised) {
+    int attempts = 0, transients = 0;
+    for (const core::Trial& t : result.trials) {
+      attempts += t.outcome.attempts;
+      if (t.outcome.transient_failure()) ++transients;
+    }
+    std::printf(
+        "fault environment %s: %d attempts across %zu evaluations, "
+        "%d unrecovered transient failure(s)\n",
+        faults_name.c_str(), attempts, result.trials.size(), transients);
+  }
   if (args.has("session")) {
     core::save_trials(args.get("session", ""), result.trials);
     std::printf("session saved to %s\n", args.get("session", "").c_str());

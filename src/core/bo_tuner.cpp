@@ -1,9 +1,11 @@
 #include "core/bo_tuner.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "analysis/space_lint.h"
 #include "config/sampler.h"
+#include "util/fs.h"
 #include "util/log.h"
 
 namespace autodml::core {
@@ -37,6 +39,43 @@ BoTuner::BoTuner(ObjectiveFunction& objective, BoOptions options)
   options_.early_term.target_metric = objective.target_metric();
   options_.early_term.objective_is_cost = objective.objective_is_cost();
   history_ = options_.warm_start;
+
+  if (!options_.journal_path.empty()) {
+    LoadedJournal loaded = load_journal(options_.journal_path,
+                                        objective.space());
+    if (!loaded.trials.empty() || loaded.header.num_params != 0) {
+      if (loaded.header.seed != options_.seed) {
+        throw std::invalid_argument(
+            "BoTuner: journal " + options_.journal_path +
+            " was written with seed " + std::to_string(loaded.header.seed) +
+            " but this tuner is configured with seed " +
+            std::to_string(options_.seed) +
+            " (resume requires identical options)");
+      }
+      if (loaded.header.num_params != objective.space().num_params()) {
+        throw std::invalid_argument(
+            "BoTuner: journal " + options_.journal_path + " covers " +
+            std::to_string(loaded.header.num_params) +
+            " parameters but the space has " +
+            std::to_string(objective.space().num_params()) +
+            " (stale journal?)");
+      }
+      if (loaded.torn_tail) {
+        // Drop the partial record from disk before appending resumes, or
+        // the next append would concatenate onto the torn line.
+        ADML_WARN << "journal " << options_.journal_path
+                  << ": torn final record skipped (crash mid-append); the "
+                     "trial will be re-evaluated";
+        std::string repaired = dump_journal(loaded.header, loaded.trials);
+        util::write_file_atomic(options_.journal_path, repaired);
+      }
+      replay_ = std::move(loaded.trials);
+    }
+    JournalHeader header;
+    header.seed = options_.seed;
+    header.num_params = objective.space().num_params();
+    journal_ = std::make_unique<TrialJournal>(options_.journal_path, header);
+  }
 }
 
 std::vector<conf::Config> BoTuner::initial_configs() {
@@ -68,6 +107,37 @@ Trial BoTuner::evaluate(const conf::Config& config, bool allow_early_term,
   return trial;
 }
 
+Trial BoTuner::next_trial(const conf::Config& config, bool allow_early_term,
+                          double incumbent) {
+  if (replay_cursor_ < replay_.size()) {
+    Trial trial = replay_[replay_cursor_];
+    // The journaled config went through a JSON round trip; the regenerated
+    // proposal is the bit-exact original. Verify they agree, then keep the
+    // proposal so the surrogate sees identical inputs to an uninterrupted
+    // run (any real divergence means the options or space changed).
+    const math::Vec a = objective_->space().encode(trial.config);
+    const math::Vec b = objective_->space().encode(config);
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+    if (a.size() != b.size() || max_diff > 1e-9) {
+      throw std::runtime_error(
+          "BoTuner: journal replay diverged at trial " +
+          std::to_string(replay_cursor_) + " (journaled " +
+          trial.config.to_string() + ", proposed " + config.to_string() +
+          "); the journal was written with different options or a "
+          "different space");
+    }
+    ++replay_cursor_;
+    trial.config = config;
+    objective_->notify_replayed(trial);
+    return trial;
+  }
+  Trial trial = evaluate(config, allow_early_term, incumbent);
+  if (journal_) journal_->append(trial);
+  return trial;
+}
+
 TuningResult BoTuner::tune() {
   TuningResult result;
   const auto budget_left = [&] {
@@ -78,8 +148,8 @@ TuningResult BoTuner::tune() {
   // Phase 1: initial design, run to completion (uncensored anchors).
   for (const conf::Config& config : initial_configs()) {
     if (!budget_left()) break;
-    Trial trial = evaluate(config, /*allow_early_term=*/false,
-                           result.best_objective);
+    Trial trial = next_trial(config, /*allow_early_term=*/false,
+                             result.best_objective);
     history_.push_back(trial);
     record_trial(result, std::move(trial));
   }
@@ -96,8 +166,8 @@ TuningResult BoTuner::tune() {
     if (!candidate) {
       candidate = objective_->space().sample_uniform(rng_);
     }
-    Trial trial = evaluate(*candidate, /*allow_early_term=*/true,
-                           result.best_objective);
+    Trial trial = next_trial(*candidate, /*allow_early_term=*/true,
+                             result.best_objective);
     ADML_DEBUG << "trial " << result.trials.size() << ": "
                << trial.config.to_string() << " -> "
                << (trial.succeeded() ? trial.outcome.objective : -1.0);

@@ -11,12 +11,22 @@
 //      learning curve), record the trial.
 // Warm-start trials (R-F9) are folded into the surrogate but are not
 // charged against the budget or reported in the result's trial list.
+//
+// Crash safety: with `journal_path` set, every evaluated trial is appended
+// to a fsynced line-delimited journal before the loop proceeds. A process
+// killed mid-tune resumes by pointing a new tuner (same seed, same options)
+// at the same journal: journaled trials are *replayed* — folded into the
+// result, the budget, and the surrogate without re-evaluating, while the
+// objective advances its deterministic per-run state via notify_replayed —
+// so the continuation is bit-identical to an uninterrupted run.
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/acquisition_optimizer.h"
 #include "core/early_termination.h"
+#include "core/session_io.h"
 #include "core/surrogate.h"
 #include "core/tuner_types.h"
 
@@ -35,6 +45,9 @@ struct BoOptions {
   SurrogateOptions surrogate;
   AcqOptimizerOptions acq_optimizer;
   std::vector<Trial> warm_start;
+  /// Append-only trial journal for crash-safe sessions (empty = disabled).
+  /// An existing journal written with the same seed/space is resumed.
+  std::string journal_path;
   std::uint64_t seed = 1;
 };
 
@@ -48,9 +61,17 @@ class BoTuner {
   /// Surrogate after tune(); used by the sensitivity experiment.
   const SurrogateModel& surrogate() const { return surrogate_; }
 
+  /// Trials recovered from the journal instead of evaluated (after tune()).
+  std::size_t replayed_trials() const { return replay_cursor_; }
+
  private:
   Trial evaluate(const conf::Config& config, bool allow_early_term,
                  double incumbent);
+  /// Journal-aware evaluation: replays the next journaled trial when one is
+  /// pending (verifying it matches `config`), otherwise evaluates live and
+  /// journals the result before returning.
+  Trial next_trial(const conf::Config& config, bool allow_early_term,
+                   double incumbent);
   std::vector<conf::Config> initial_configs();
 
   ObjectiveFunction* objective_;
@@ -58,6 +79,9 @@ class BoTuner {
   util::Rng rng_;
   SurrogateModel surrogate_;
   std::vector<Trial> history_;  // warm start + own trials
+  std::vector<Trial> replay_;  // journaled trials pending replay
+  std::size_t replay_cursor_ = 0;
+  std::unique_ptr<TrialJournal> journal_;
 };
 
 }  // namespace autodml::core

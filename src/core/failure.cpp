@@ -1,0 +1,56 @@
+#include "core/failure.h"
+
+#include <stdexcept>
+
+namespace autodml::core {
+
+bool is_transient(FailureKind kind) {
+  return kind == FailureKind::kPreempted || kind == FailureKind::kInfraCrash;
+}
+
+std::string to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kOom: return "oom";
+    case FailureKind::kDiverged: return "diverged";
+    case FailureKind::kDeadlineExceeded: return "deadline-exceeded";
+    case FailureKind::kNoThroughput: return "no-throughput";
+    case FailureKind::kEvalTimeout: return "eval-timeout";
+    case FailureKind::kPreempted: return "preempted";
+    case FailureKind::kInfraCrash: return "infra-crash";
+    case FailureKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+FailureKind failure_kind_from_string(std::string_view name) {
+  for (FailureKind kind :
+       {FailureKind::kNone, FailureKind::kOom, FailureKind::kDiverged,
+        FailureKind::kDeadlineExceeded, FailureKind::kNoThroughput,
+        FailureKind::kEvalTimeout, FailureKind::kPreempted,
+        FailureKind::kInfraCrash, FailureKind::kUnknown}) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw std::invalid_argument("failure_kind_from_string: unknown kind '" +
+                              std::string(name) + "'");
+}
+
+FailureKind classify_failure_text(std::string_view text) {
+  if (text.empty()) return FailureKind::kNone;
+  if (text.find("OOM") != std::string_view::npos) return FailureKind::kOom;
+  if (text.find("diverged") != std::string_view::npos)
+    return FailureKind::kDiverged;
+  if (text.find("deadline") != std::string_view::npos)
+    return FailureKind::kDeadlineExceeded;
+  if (text.find("no throughput") != std::string_view::npos)
+    return FailureKind::kNoThroughput;
+  if (text.find("timeout") != std::string_view::npos)
+    return FailureKind::kEvalTimeout;
+  if (text.find("preempt") != std::string_view::npos)
+    return FailureKind::kPreempted;
+  if (text.find("infra") != std::string_view::npos)
+    return FailureKind::kInfraCrash;
+  return FailureKind::kUnknown;
+}
+
+}  // namespace autodml::core

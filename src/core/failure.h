@@ -1,0 +1,47 @@
+// Structured evaluation-failure taxonomy.
+//
+// The tuner's feasibility model must learn OOM and divergence regions —
+// those are properties of the configuration — but must NOT learn from spot
+// preemptions or infra crashes, which are properties of the environment and
+// would carve phantom infeasible holes out of the search space. The retry
+// supervisor likewise retries only failures that can plausibly succeed on a
+// second attempt. Both decisions key off this enum, which replaces the
+// free-text failure string as the source of truth (the string survives as a
+// human-readable detail).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace autodml::core {
+
+enum class FailureKind {
+  kNone,              // the run succeeded
+  // Deterministic failures: caused by the configuration, will repeat, and
+  // train the feasibility surrogate.
+  kOom,               // worker or server out of memory
+  kDiverged,          // learning rate / staleness blew the optimizer up
+  kDeadlineExceeded,  // run would miss the time-to-accuracy SLO
+  kNoThroughput,      // pathological config, simulation made no progress
+  kEvalTimeout,       // attempt exceeded the supervisor's per-attempt cap
+  // Transient failures: environment bad luck, worth retrying, and excluded
+  // from the feasibility surrogate.
+  kPreempted,         // spot capacity reclaimed mid-run
+  kInfraCrash,        // driver/scheduler/infra death unrelated to the config
+  kUnknown,           // legacy records whose free text we cannot classify
+};
+
+/// True for failures a retry can plausibly fix (environment, not config).
+bool is_transient(FailureKind kind);
+
+std::string to_string(FailureKind kind);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+FailureKind failure_kind_from_string(std::string_view name);
+
+/// Best-effort classification of legacy free-text failure strings (session
+/// files written before the taxonomy existed). Unrecognized non-empty text
+/// maps to kUnknown, empty text to kNone.
+FailureKind classify_failure_text(std::string_view text);
+
+}  // namespace autodml::core

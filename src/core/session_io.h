@@ -1,33 +1,99 @@
-// Tuning-session persistence.
+// Tuning-session persistence and the crash-safe trial journal.
 //
-// Serializes trial histories to JSON so a tuning session can be resumed or
-// used to warm-start a later one (possibly in another process, possibly on
-// a sibling workload). Configurations are stored by parameter *name and
-// value*, not by encoded position, so a saved session survives reordering
-// of parameters as long as names and kinds are stable; loading validates
-// every value against the target space.
+// Two on-disk forms share one trial record schema:
+//
+//   - Session files ("autodml.trials.v1"): a pretty-printed JSON document
+//     with a "trials" array, written atomically (temp file + fsync +
+//     rename) so a crash mid-save never truncates a session. Used for
+//     warm-starting later sessions, possibly on sibling workloads.
+//
+//   - Trial journals ("autodml.journal.v1"): line-delimited JSON, one
+//     fsynced record per evaluated trial, appended as the tuner runs. A
+//     tuning process killed mid-run resumes from its journal: every
+//     journaled trial is replayed instead of re-evaluated, and because the
+//     whole pipeline is deterministic the continuation reaches the same
+//     final incumbent as an uninterrupted run. A torn final line (the
+//     record being written at the instant of death) is tolerated; corrupt
+//     interior lines are not.
+//
+// Configurations are stored by parameter *name and value*, not by encoded
+// position, so a saved session survives reordering of parameters as long
+// as names and kinds are stable; loading validates every value against the
+// target space. Doubles are serialized with %.17g and round-trip exactly —
+// journal replay depends on this.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/tuner_types.h"
+#include "util/fs.h"
+#include "util/json.h"
 
 namespace autodml::core {
+
+/// One trial <-> one JSON object (shared by sessions and journals).
+util::JsonValue trial_to_json(const Trial& trial);
+Trial trial_from_json(const util::JsonValue& value,
+                      const conf::ConfigSpace& space);
 
 /// Trials -> JSON document (an object with a "trials" array).
 std::string trials_to_json(std::span<const Trial> trials);
 
 /// Parse back against `space`. Throws std::invalid_argument on malformed
-/// documents, unknown parameters, or out-of-range values.
+/// documents, unknown parameters, or out-of-range values — always with
+/// enough context (trial index, field name) to identify the bad record.
 std::vector<Trial> trials_from_json(std::string_view json,
                                     const conf::ConfigSpace& space);
 
-/// File helpers; throw std::runtime_error on I/O failure.
+/// File helpers; throw std::runtime_error on I/O failure. Saving is atomic:
+/// a crash mid-save leaves the previous file contents intact.
 void save_trials(const std::string& path, std::span<const Trial> trials);
 std::vector<Trial> load_trials(const std::string& path,
                                const conf::ConfigSpace& space);
+
+// ---- Trial journal ---------------------------------------------------------
+
+struct JournalHeader {
+  std::uint64_t seed = 0;          // tuner seed the journal was written with
+  std::size_t num_params = 0;      // space shape sanity check
+};
+
+struct LoadedJournal {
+  JournalHeader header;
+  std::vector<Trial> trials;
+  bool torn_tail = false;  // last line was torn by a crash and was skipped
+};
+
+/// Append-only journal writer. Every append is fsynced before returning,
+/// so the journal never lags the tuner by more than the record in flight.
+class TrialJournal {
+ public:
+  /// Opens `path` for appending; writes the header line first when the
+  /// file is new or empty.
+  TrialJournal(const std::string& path, const JournalHeader& header);
+
+  void append(const Trial& trial);
+
+  const std::string& path() const { return appender_.path(); }
+
+ private:
+  util::DurableAppender appender_;
+};
+
+/// Load a journal for resumption. Returns an empty trial list when the
+/// file does not exist. Throws std::invalid_argument on a corrupt header
+/// or interior record; a torn final line is skipped and flagged instead.
+LoadedJournal load_journal(const std::string& path,
+                           const conf::ConfigSpace& space);
+
+/// Serialize a complete journal (header + one line per trial). Used with
+/// util::write_file_atomic to repair a journal whose tail was torn.
+std::string dump_journal(const JournalHeader& header,
+                         std::span<const Trial> trials);
 
 }  // namespace autodml::core

@@ -27,8 +27,13 @@ void SurrogateModel::update(std::span<const Trial> trials) {
   std::vector<double> real_y;  // completed runs only: defines the incumbent
   for (const Trial& t : trials) {
     const math::Vec x = space_->encode(t.config);
-    all_x.push_back(x);
-    feas_y.push_back(t.outcome.feasible ? 0.0 : 1.0);
+    // Transient failures (preemption, infra crash) say nothing about the
+    // configuration — training on them would carve phantom infeasible
+    // regions out of the search space, so they are excluded here.
+    if (!t.outcome.transient_failure()) {
+      all_x.push_back(x);
+      feas_y.push_back(t.outcome.feasible ? 0.0 : 1.0);
+    }
     if (t.succeeded()) {
       ok_x.push_back(x);
       ok_y.push_back(std::log(std::max(t.outcome.objective, 1e-9)));

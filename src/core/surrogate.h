@@ -4,9 +4,10 @@
 //   - objective GP on log(objective) of successful trials — the response
 //     surface spans decades, so the log transform is what makes a
 //     stationary kernel plausible;
-//   - feasibility GP on a 0/1 failure indicator over *all* trials (OOM and
-//     divergence regions are spatially coherent, so the tuner can learn to
-//     avoid paying for them);
+//   - feasibility GP on a 0/1 failure indicator over all *deterministic*
+//     trials (OOM and divergence regions are spatially coherent, so the
+//     tuner can learn to avoid paying for them; transient failures —
+//     preemptions, infra crashes — are environment noise and excluded);
 //   - cost GP on log(evaluation cost) of completed trials, feeding the
 //     EI-per-cost acquisition (CherryPick-style cost awareness).
 // Aborted runs contribute to feasibility (they did not crash) but not to

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "config/config_space.h"
+#include "core/failure.h"
 
 namespace autodml::core {
 
@@ -36,14 +37,34 @@ class RunController {
 struct RunOutcome {
   bool feasible = false;   // false: crashed (OOM) or diverged
   bool aborted = false;    // true: controller killed it
+  /// Structured failure classification — the source of truth for retry and
+  /// feasibility-model decisions. `failure` is human-readable detail only.
+  FailureKind failure_kind = FailureKind::kNone;
   std::string failure;
   double objective = std::numeric_limits<double>::infinity();
-  double spent_seconds = 0.0;  // evaluation cost actually paid
+  /// Evaluation cost actually paid, summed over every attempt the
+  /// supervisor made (failed attempts and backoff waits included).
+  double spent_seconds = 0.0;
   double usd_per_hour = 0.0;
+  /// Evaluation attempts consumed (1 unless a supervisor retried).
+  int attempts = 1;
   /// For aborted runs: the early-termination policy's unbiased projection
   /// of where the run would have ended. The surrogate uses it as a
   /// censored pseudo-observation so killed runs still inform the model.
   double projected_objective = std::numeric_limits<double>::infinity();
+
+  /// Transient failures are environment noise; the feasibility surrogate
+  /// must not learn them as properties of the configuration.
+  bool transient_failure() const {
+    return !feasible && is_transient(failure_kind);
+  }
+};
+
+struct Trial {
+  conf::Config config;
+  RunOutcome outcome;
+
+  bool succeeded() const { return outcome.feasible && !outcome.aborted; }
 };
 
 /// The black box: configuration in, (possibly aborted) outcome out.
@@ -58,13 +79,12 @@ class ObjectiveFunction {
   virtual double target_metric() const = 0;
   /// True when the objective is dollars rather than seconds.
   virtual bool objective_is_cost() const { return false; }
-};
-
-struct Trial {
-  conf::Config config;
-  RunOutcome outcome;
-
-  bool succeeded() const { return outcome.feasible && !outcome.aborted; }
+  /// Crash-safe resume: the tuner recovered `trial` from its journal
+  /// instead of calling run(). Implementations must advance any per-run
+  /// deterministic state (seed-derived rng streams, attempt counters)
+  /// exactly as the live evaluation would have, so that the continuation
+  /// replays the interrupted session bit-for-bit.
+  virtual void notify_replayed(const Trial& trial) { (void)trial; }
 };
 
 struct TuningResult {

@@ -54,6 +54,8 @@ class AllReduceSimulation {
         measured_bytes_ / (static_cast<double>(measured) * w);
     stats.blocked_fraction = barrier_wait_sum_ /
                              std::max(1e-12, stats.sim_seconds * w);
+    stats.fault_downtime_seconds = fault_downtime_sum_;
+    stats.fault_events = fault_event_count_;
     return stats;
   }
 
@@ -68,8 +70,26 @@ class AllReduceSimulation {
           static_cast<double>(job_.batch_per_worker) * job_.flops_per_sample +
           job_.model_bytes * compression_.flops_per_byte;
       const double base = flops / (node.type.flops() * node.speed_factor);
-      const double duration =
+      double duration =
           base * worker_rng_[i].lognormal_median(1.0, node.jitter_sigma);
+      if (options_.faults != nullptr) {
+        const double now = queue_.now();
+        duration *= options_.faults->compute_slowdown(i, now);
+        // Charge crashes/preemptions since the last check, including any
+        // that landed during the ring phase, as restart time on this
+        // worker's compute — the all-reduce barrier then stalls the ring.
+        if (fault_checked_until_.empty())
+          fault_checked_until_.resize(w, 0.0);
+        const double until = now + duration;
+        const double down = options_.faults->downtime_during(
+            i, fault_checked_until_[i], until);
+        fault_checked_until_[i] = until;
+        if (down > 0.0) {
+          duration += down;
+          fault_downtime_sum_ += down;
+          ++fault_event_count_;
+        }
+      }
       queue_.schedule_after(duration, [this, i] {
         compute_finish_[i] = queue_.now();
         if (--pending_ == 0) on_compute_barrier();
@@ -95,8 +115,10 @@ class AllReduceSimulation {
   void run_ring_step() {
     const std::size_t w = cluster_.workers.size();
     pending_ = static_cast<int>(w);
-    const double chunk_bytes =
+    double chunk_bytes =
         job_.model_bytes * compression_.push_ratio / static_cast<double>(w);
+    if (options_.faults != nullptr)
+      chunk_bytes *= options_.faults->network_penalty(queue_.now());
     for (std::size_t i = 0; i < w; ++i) {
       const std::size_t next = (i + 1) % w;
       if (iteration_ >= options_.warmup_iterations)
@@ -143,6 +165,9 @@ class AllReduceSimulation {
   double measure_start_time_ = 0.0;
   double measured_bytes_ = 0.0;
   double barrier_wait_sum_ = 0.0;
+  double fault_downtime_sum_ = 0.0;
+  std::int64_t fault_event_count_ = 0;
+  std::vector<double> fault_checked_until_;  // per worker, lazily sized
 };
 
 }  // namespace

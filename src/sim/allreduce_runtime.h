@@ -10,6 +10,7 @@
 #pragma once
 
 #include "sim/cluster.h"
+#include "sim/fault_injector.h"
 #include "sim/job.h"
 #include "util/rng.h"
 
@@ -19,6 +20,11 @@ struct AllReduceSimOptions {
   int warmup_iterations = 4;
   int measure_iterations = 24;
   double max_sim_seconds = 3e5;
+  /// Optional transient-fault schedule (non-owning; must outlive the call).
+  /// The collective is fully synchronous, so any crash, preemption, or
+  /// straggler episode stalls the entire ring — the worst case the tuner
+  /// must learn to trade against PS architectures under faults.
+  const FaultInjector* faults = nullptr;
 };
 
 /// Runs the all-reduce simulation. Ignores `job.sync`/`job.staleness`

@@ -1,6 +1,7 @@
 // Job-level knobs shared by the PS and all-reduce runtimes.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -65,6 +66,10 @@ struct RuntimeStats {
   double mean_staleness = 0.0;   // observed effective staleness (iterations)
   double bytes_per_update = 0.0; // network bytes moved per committed update
   double blocked_fraction = 0.0; // share of worker time spent gated (barrier/SSP)
+  // Fault-injection accounting (zero when no injector is attached): restart
+  // downtime added to iterations and the number of downtime events applied.
+  double fault_downtime_seconds = 0.0;
+  std::int64_t fault_events = 0;
 };
 
 }  // namespace autodml::sim

@@ -72,6 +72,8 @@ class PsSimulation {
     stats.blocked_fraction =
         blocked_time_sum_ /
         std::max(1e-12, stats.sim_seconds * static_cast<double>(w));
+    stats.fault_downtime_seconds = fault_downtime_sum_;
+    stats.fault_events = fault_event_count_;
     return stats;
   }
 
@@ -132,9 +134,33 @@ class PsSimulation {
         static_cast<double>(job_.batch_per_worker) * job_.flops_per_sample +
         raw_bytes * compression_.flops_per_byte;
     const double base = flops / (node.type.flops() * node.speed_factor);
-    const double duration =
-        base * wrng.lognormal_median(1.0, node.jitter_sigma);
+    double duration = base * wrng.lognormal_median(1.0, node.jitter_sigma);
+    if (options_.faults != nullptr) {
+      const double now = queue_.now();
+      duration *= options_.faults->compute_slowdown(w, now);
+      // Crash/preemption since the last check (a crash during communication
+      // is discovered here): the worker replays from its last checkpoint
+      // after the restart cost, so the iteration in flight simply takes
+      // that much longer. Sync gates do the rest — under BSP every
+      // survivor stalls on the barrier; under ASP/SSP peers keep going.
+      if (fault_checked_until_.empty())
+        fault_checked_until_.resize(cluster_.workers.size(), 0.0);
+      const double until = now + duration;
+      const double down = options_.faults->downtime_during(
+          w, fault_checked_until_[w], until);
+      fault_checked_until_[w] = until;
+      if (down > 0.0) {
+        duration += down;
+        fault_downtime_sum_ += down;
+        ++fault_event_count_;
+      }
+    }
     queue_.schedule_after(duration, [this, w] { start_push(w); });
+  }
+
+  double network_bytes(double bytes) const {
+    if (options_.faults == nullptr) return bytes;
+    return bytes * options_.faults->network_penalty(queue_.now());
   }
 
   void start_push(std::size_t w) {
@@ -165,8 +191,8 @@ class PsSimulation {
 
   void send_push(std::size_t w, std::size_t shard) {
     const std::size_t s = cluster_.servers.size();
-    const double bytes =
-        job_.model_bytes * compression_.push_ratio / static_cast<double>(s);
+    const double bytes = network_bytes(
+        job_.model_bytes * compression_.push_ratio / static_cast<double>(s));
     account_bytes(bytes);
     fabric_.send(worker_node_[w], server_node_[shard], bytes,
                  job_.per_message_latency,
@@ -198,9 +224,10 @@ class PsSimulation {
     fabric_.send(worker_node_[w], server_node_[shard], kRequestBytes,
                  job_.per_message_latency, [this, w, shard] {
                    const std::size_t s = cluster_.servers.size();
-                   const double bytes = job_.model_bytes *
-                                        compression_.pull_ratio /
-                                        static_cast<double>(s);
+                   const double bytes =
+                       network_bytes(job_.model_bytes *
+                                     compression_.pull_ratio /
+                                     static_cast<double>(s));
                    account_bytes(bytes);
                    fabric_.send(server_node_[shard], worker_node_[w], bytes,
                                 job_.per_message_latency,
@@ -293,6 +320,9 @@ class PsSimulation {
   double staleness_sum_ = 0.0;
   double measured_bytes_ = 0.0;
   double blocked_time_sum_ = 0.0;
+  double fault_downtime_sum_ = 0.0;
+  std::int64_t fault_event_count_ = 0;
+  std::vector<double> fault_checked_until_;  // per worker, lazily sized
   bool done_ = false;
 };
 

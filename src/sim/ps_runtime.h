@@ -15,6 +15,7 @@
 #pragma once
 
 #include "sim/cluster.h"
+#include "sim/fault_injector.h"
 #include "sim/job.h"
 #include "util/rng.h"
 
@@ -24,6 +25,12 @@ struct PsSimOptions {
   int warmup_iterations = 4;    // per worker, excluded from measurement
   int measure_iterations = 24;  // per worker
   double max_sim_seconds = 3e5; // abort guard for pathological configs
+  /// Optional transient-fault schedule (non-owning; must outlive the call).
+  /// Crash/preemption downtime extends the afflicted worker's iteration —
+  /// under BSP everyone stalls on it at the barrier, under ASP/SSP the
+  /// survivors keep committing — straggler episodes slow compute, and
+  /// network-degradation windows inflate transfers.
+  const FaultInjector* faults = nullptr;
 };
 
 /// Runs the PS simulation and returns steady-state throughput statistics.

@@ -1,5 +1,6 @@
 #include "sim/system_sim.h"
 
+#include <memory>
 #include <stdexcept>
 
 namespace autodml::sim {
@@ -25,15 +26,26 @@ SystemPerformance evaluate_system(const SystemConfig& config, util::Rng& rng,
     return perf;
   }
 
+  // The injector is built only when faults are requested so a disabled
+  // spec consumes nothing from `rng` and leaves legacy streams intact.
+  std::unique_ptr<FaultInjector> injector;
+  if (options.faults.injects_runtime_faults()) {
+    injector = std::make_unique<FaultInjector>(
+        options.faults, cluster.workers.size(), rng.split().next_u64(),
+        options.fault_horizon_seconds);
+  }
+
   if (config.arch == Arch::kPs) {
     PsSimOptions ps;
     ps.warmup_iterations = options.warmup_iterations;
     ps.measure_iterations = options.measure_iterations;
+    ps.faults = injector.get();
     perf.runtime = simulate_ps(cluster, config.job, rng, ps);
   } else {
     AllReduceSimOptions ar;
     ar.warmup_iterations = options.warmup_iterations;
     ar.measure_iterations = options.measure_iterations;
+    ar.faults = injector.get();
     perf.runtime = simulate_allreduce(cluster, config.job, rng, ar);
   }
   perf.feasible = perf.runtime.updates_per_second > 0.0;

@@ -11,6 +11,7 @@
 
 #include "sim/allreduce_runtime.h"
 #include "sim/cluster.h"
+#include "sim/fault_injector.h"
 #include "sim/job.h"
 #include "sim/memory_model.h"
 #include "sim/ps_runtime.h"
@@ -34,6 +35,14 @@ struct SystemPerformance {
 struct SystemSimOptions {
   int warmup_iterations = 4;
   int measure_iterations = 24;
+  /// Transient-fault environment. When enabled, a deterministic schedule is
+  /// drawn from `rng` (so repeat attempts see fresh fault draws) covering
+  /// `fault_horizon_seconds` of simulated time; the measurement window is
+  /// orders of magnitude shorter, so the horizon is never the binding
+  /// constraint at sane rates. Disabled specs leave the rng stream and the
+  /// simulation byte-identical to a build without fault injection.
+  FaultSpec faults;
+  double fault_horizon_seconds = 3600.0;
 };
 
 /// Provision, check memory, simulate. PS architectures require

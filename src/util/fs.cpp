@@ -1,0 +1,93 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace autodml::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path + " (" + std::strerror(errno) +
+                           ")");
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("write_file_atomic: cannot create", tmp);
+  const char* data = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write_file_atomic: write failed", tmp);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("write_file_atomic: fsync failed", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("write_file_atomic: close failed", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("write_file_atomic: rename failed", path);
+  }
+  fsync_parent_dir(path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("read_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) throw std::runtime_error("read_file: read failed " + path);
+  return buffer.str();
+}
+
+DurableAppender::DurableAppender(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) fail("DurableAppender: cannot open", path);
+}
+
+DurableAppender::~DurableAppender() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void DurableAppender::append(std::string_view record) {
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size())
+    fail("DurableAppender: write failed", path_);
+  if (std::fflush(file_) != 0) fail("DurableAppender: flush failed", path_);
+  if (::fsync(::fileno(file_)) != 0)
+    fail("DurableAppender: fsync failed", path_);
+}
+
+}  // namespace autodml::util

@@ -1,0 +1,51 @@
+// Crash-safe file primitives (POSIX).
+//
+// Session and journal files must survive the writing process dying at any
+// instant: a half-written session would silently lose a tuning run's worth
+// of paid evaluations. Two primitives cover the two write patterns:
+//   - write_file_atomic: whole-file replace via temp file + fsync + rename,
+//     so readers only ever see the old or the new contents, never a torn
+//     middle state;
+//   - DurableAppender: append-only writer that fsyncs after every record,
+//     so at most the final record (the one being written at the instant of
+//     death) can be torn.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace autodml::util {
+
+/// Atomically replace `path` with `content`: write to a sibling temp file,
+/// fsync it, rename over the target, fsync the directory. Throws
+/// std::runtime_error on any I/O failure (the temp file is cleaned up).
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Whole-file read; throws std::runtime_error when unreadable.
+std::string read_file(const std::string& path);
+
+/// Append-only writer with per-record durability. Each append() returns
+/// only after the bytes are flushed and fsynced, so a crash between
+/// records loses nothing and a crash mid-record tears only the last line.
+class DurableAppender {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  explicit DurableAppender(const std::string& path);
+  ~DurableAppender();
+
+  DurableAppender(const DurableAppender&) = delete;
+  DurableAppender& operator=(const DurableAppender&) = delete;
+
+  /// Append one record verbatim (caller supplies the trailing newline),
+  /// then flush + fsync. Throws std::runtime_error on failure.
+  void append(std::string_view record);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace autodml::util

@@ -1,0 +1,121 @@
+#include "workloads/eval_supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace autodml::wl {
+
+double backoff_mean_seconds(const RetryPolicy& policy, int retry_index) {
+  const double grown = policy.backoff_base_seconds *
+                       std::pow(policy.backoff_multiplier, retry_index - 1);
+  return std::min(policy.backoff_cap_seconds, grown);
+}
+
+EvalSupervisor::EvalSupervisor(Evaluator& evaluator, RetryPolicy policy,
+                               std::uint64_t seed)
+    : evaluator_(&evaluator), policy_(policy), seed_(seed) {}
+
+EvalResult EvalSupervisor::run_attempt(const conf::Config& config,
+                                       core::RunController* controller) {
+  auto run = evaluator_->start(config);
+  if (run->failed()) return run->result();
+
+  const bool has_timeout = std::isfinite(policy_.attempt_timeout_seconds);
+  if (controller == nullptr && !has_timeout) return run->result();
+
+  // Checkpoints from retried attempts keep feeding the same controller:
+  // they are replicate observations of the same configuration's learning
+  // curve, so the early-termination fit only gains data.
+  if (controller != nullptr) controller->on_run_start(run->usd_per_hour());
+  while (auto checkpoint = run->next_checkpoint()) {
+    if (has_timeout &&
+        checkpoint->wall_seconds >= policy_.attempt_timeout_seconds) {
+      // A hung evaluation is a property of the configuration, not the
+      // environment: classify deterministically so it is never retried
+      // and the feasibility model learns the region. (Enforced at
+      // checkpoint granularity; the charged time is what was streamed.)
+      EvalResult timed_out = run->abort();
+      timed_out.terminated_early = false;
+      timed_out.feasible = false;
+      timed_out.failure_kind = core::FailureKind::kEvalTimeout;
+      timed_out.failure =
+          "evaluation attempt exceeded timeout (" +
+          std::to_string(policy_.attempt_timeout_seconds) + "s)";
+      return timed_out;
+    }
+    if (controller != nullptr) {
+      core::RunCheckpoint cp;
+      cp.wall_seconds = checkpoint->wall_seconds;
+      cp.samples = checkpoint->samples;
+      cp.metric = checkpoint->metric;
+      if (controller->should_abort(cp)) return run->abort();
+    }
+  }
+  return run->result();
+}
+
+SupervisedOutcome EvalSupervisor::evaluate(const conf::Config& config,
+                                           core::RunController* controller) {
+  // Per-evaluation jitter stream: derived from the supervisor seed and the
+  // evaluation index only, so journal replay can skip it with a counter
+  // bump (mirrors Evaluator::start's per-run stream derivation).
+  std::uint64_t mix = seed_ ^ (0x9e3779b97f4a7c15ULL * (eval_counter_ + 1));
+  ++eval_counter_;
+  util::Rng rng(util::splitmix64(mix));
+
+  SupervisedOutcome out;
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  while (true) {
+    EvalResult attempt = run_attempt(config, controller);
+    ++out.attempts;
+    out.total_spent_seconds += attempt.spent_seconds;
+    out.total_spent_usd += attempt.spent_usd;
+    out.attempt_kinds.push_back(attempt.failure_kind);
+    out.result = std::move(attempt);
+
+    const bool retryable = !out.result.feasible &&
+                           !out.result.terminated_early &&
+                           core::is_transient(out.result.failure_kind);
+    if (!retryable || out.attempts >= max_attempts) break;
+
+    // Capped exponential backoff with jitter before the retry. Waiting
+    // burns search wall-clock (the ledger sees it) but no cluster dollars.
+    const double mean = backoff_mean_seconds(policy_, out.attempts);
+    const double jitter =
+        1.0 + policy_.jitter_fraction * (2.0 * rng.uniform() - 1.0);
+    const double delay = mean * jitter;
+    out.backoff_seconds += delay;
+    out.total_spent_seconds += delay;
+    evaluator_->charge_overhead(delay, 0.0);
+  }
+  return out;
+}
+
+core::RunOutcome SupervisedObjective::run(const conf::Config& config,
+                                          core::RunController* controller) {
+  const Objective objective = supervisor_->evaluator().options().objective;
+  SupervisedOutcome sup = supervisor_->evaluate(config, controller);
+
+  core::RunOutcome out;
+  out.feasible = sup.result.feasible;
+  out.aborted = sup.result.terminated_early;
+  out.failure_kind = sup.result.failure_kind;
+  out.failure = sup.result.failure;
+  out.objective = sup.result.objective_value(objective);
+  out.usd_per_hour = sup.result.usd_per_hour;
+  // The tuner's budget accounting must see the true price of the
+  // evaluation: all attempts plus backoff, not just the final attempt.
+  out.spent_seconds = sup.total_spent_seconds;
+  out.attempts = sup.attempts;
+  return out;
+}
+
+void SupervisedObjective::notify_replayed(const core::Trial& trial) {
+  supervisor_->skip_evaluation();
+  for (int i = 0; i < trial.outcome.attempts; ++i) {
+    supervisor_->evaluator().skip_run();
+  }
+}
+
+}  // namespace autodml::wl

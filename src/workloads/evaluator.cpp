@@ -87,13 +87,16 @@ Evaluator::Evaluator(const Workload& workload, std::uint64_t seed,
       seed_(seed) {}
 
 EvalResult Evaluator::run_once(const conf::Config& config, util::Rng& rng,
-                               double noise_sigma) const {
+                               double noise_sigma, bool inject_faults) const {
   space_.validate(config);
   EvalResult out;
   out.config = config;
 
   const sim::SystemConfig sys = to_system_config(workload_, config);
-  const sim::SystemPerformance perf = sim::evaluate_system(sys, rng);
+  sim::SystemSimOptions sim_options;
+  if (inject_faults) sim_options.faults = options_.faults;
+  const sim::SystemPerformance perf =
+      sim::evaluate_system(sys, rng, sim_options);
   out.usd_per_hour = perf.usd_per_hour;
   out.spent_seconds = options_.provisioning_overhead_seconds;
   out.spent_usd = options_.provisioning_overhead_seconds / 3600.0 *
@@ -102,6 +105,7 @@ EvalResult Evaluator::run_once(const conf::Config& config, util::Rng& rng,
   if (!perf.feasible) {
     out.feasible = false;
     out.failure = perf.failure;
+    out.failure_kind = core::classify_failure_text(perf.failure);
     return out;
   }
   out.runtime = perf.runtime;
@@ -119,6 +123,7 @@ EvalResult Evaluator::run_once(const conf::Config& config, util::Rng& rng,
   if (stat_out.diverged) {
     out.feasible = false;
     out.failure = "diverged";
+    out.failure_kind = core::FailureKind::kDiverged;
     out.spent_seconds += options_.divergence_detection_seconds;
     out.spent_usd += options_.divergence_detection_seconds / 3600.0 *
                      perf.usd_per_hour;
@@ -130,6 +135,27 @@ EvalResult Evaluator::run_once(const conf::Config& config, util::Rng& rng,
   out.tta_seconds = stat_out.samples_to_target /
                     perf.runtime.samples_per_second;
   out.cost_usd = out.tta_seconds / 3600.0 * perf.usd_per_hour;
+
+  // Whole-job kills (spot reclamation of the whole allocation, infra
+  // outages): the job dies at a random point of its full duration and the
+  // attempt must be restarted from scratch. Transient by definition — the
+  // EvalSupervisor retries these; the feasibility model never sees them.
+  if (inject_faults && options_.faults.job_kill_rate_per_hour > 0.0) {
+    const double t_kill =
+        rng.exponential(options_.faults.job_kill_rate_per_hour / 3600.0);
+    if (t_kill < out.tta_seconds) {
+      out.feasible = false;
+      out.failure_kind = core::FailureKind::kInfraCrash;
+      out.failure = "transient infra failure killed the job at t=" +
+                    std::to_string(t_kill) + "s";
+      out.spent_seconds += t_kill;
+      out.spent_usd += t_kill / 3600.0 * perf.usd_per_hour;
+      out.tta_seconds = 0.0;
+      out.cost_usd = 0.0;
+      out.samples_needed = 0.0;
+      return out;
+    }
+  }
   return out;
 }
 
@@ -141,6 +167,7 @@ void Evaluator::apply_deadline(EvalResult& result) const {
   // so an early-termination policy can kill the run even sooner.)
   result.feasible = false;
   result.failure = "deadline exceeded";
+  result.failure_kind = core::FailureKind::kDeadlineExceeded;
   result.spent_seconds = options_.provisioning_overhead_seconds +
                          options_.deadline_seconds;
   result.spent_usd = result.spent_seconds / 3600.0 * result.usd_per_hour;
@@ -159,7 +186,8 @@ std::unique_ptr<TrainingRun> Evaluator::start(const conf::Config& config) {
   const double noise = options_.eval_noise_sigma_override >= 0.0
                            ? options_.eval_noise_sigma_override
                            : workload_.stat.eval_noise_sigma;
-  EvalResult seed_result = run_once(config, rng, noise);
+  EvalResult seed_result = run_once(config, rng, noise,
+                                    /*inject_faults=*/true);
 
   // Checkpoint cadence: fine-grained for short runs, bounded count overall.
   double interval = options_.checkpoint_interval_seconds;
@@ -173,7 +201,8 @@ std::unique_ptr<TrainingRun> Evaluator::start(const conf::Config& config) {
 
 EvalResult Evaluator::evaluate_ground_truth(const conf::Config& config) const {
   util::Rng rng(0xd1ce5badULL ^ seed_);
-  EvalResult result = run_once(config, rng, /*noise_sigma=*/0.0);
+  EvalResult result = run_once(config, rng, /*noise_sigma=*/0.0,
+                               /*inject_faults=*/false);
   apply_deadline(result);
   return result;
 }

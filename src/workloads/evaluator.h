@@ -25,6 +25,7 @@
 #include <string>
 
 #include "config/config_space.h"
+#include "core/failure.h"
 #include "ml/convergence.h"
 #include "workloads/workload.h"
 
@@ -37,6 +38,8 @@ std::string to_string(Objective o);
 struct EvalResult {
   conf::Config config;
   bool feasible = false;
+  /// Structured failure classification; the string below is detail only.
+  core::FailureKind failure_kind = core::FailureKind::kNone;
   std::string failure;  // "worker OOM...", "diverged", "" when fine
   bool terminated_early = false;
 
@@ -73,6 +76,13 @@ struct EvaluatorOptions {
   /// minimize cost subject to a latency constraint — the constraint region
   /// is learned by the feasibility model like any other failure mode.
   double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Transient-fault environment. Runtime faults (crashes, stragglers,
+  /// degraded networks) reduce measured throughput inside the simulation;
+  /// the whole-job kill rate terminates evaluation attempts mid-run with a
+  /// transient failure — the case EvalSupervisor exists to retry. Each
+  /// attempt draws fresh fault randomness from its per-run stream, and
+  /// ground-truth evaluations are always fault-free.
+  sim::FaultSpec faults;
 };
 
 class Evaluator;
@@ -139,12 +149,23 @@ class Evaluator {
   double total_spent_usd() const { return spent_usd_; }
   std::size_t num_runs() const { return run_counter_; }
 
+  /// Charge supervision overhead (retry backoff waits) to the ledger.
+  /// Waiting burns wall-clock search time but no cluster dollars.
+  void charge_overhead(double seconds, double usd) { charge(seconds, usd); }
+
+  /// Journal replay: advance the per-run seed stream without evaluating,
+  /// so a resumed session's later runs see the same randomness an
+  /// uninterrupted session would have.
+  void skip_run() { ++run_counter_; }
+
  private:
   friend class TrainingRun;
 
   /// Simulate + convergence-model one run; does not touch the ledger.
+  /// `inject_faults` gates the transient-fault environment (ground truth
+  /// runs with it off).
   EvalResult run_once(const conf::Config& config, util::Rng& rng,
-                      double noise_sigma) const;
+                      double noise_sigma, bool inject_faults) const;
 
   /// Convert a completed run that misses the SLO into a deadline failure.
   void apply_deadline(EvalResult& result) const;

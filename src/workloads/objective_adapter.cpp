@@ -9,6 +9,7 @@ core::RunOutcome to_outcome(const EvalResult& result, Objective objective) {
   out.feasible = result.feasible;
   out.aborted = result.terminated_early;
   out.failure = result.failure;
+  out.failure_kind = result.failure_kind;
   out.objective = result.objective_value(objective);
   out.spent_seconds = result.spent_seconds;
   out.usd_per_hour = result.usd_per_hour;

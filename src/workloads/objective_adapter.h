@@ -28,6 +28,12 @@ class EvaluatorObjective final : public core::ObjectiveFunction {
   core::RunOutcome run(const conf::Config& config,
                        core::RunController* controller) override;
 
+  void notify_replayed(const core::Trial& trial) override {
+    // Advance the evaluator's per-run seed stream exactly as the live
+    // evaluations would have, so post-resume runs see identical randomness.
+    for (int i = 0; i < trial.outcome.attempts; ++i) evaluator_->skip_run();
+  }
+
   Evaluator& evaluator() { return *evaluator_; }
 
  private:

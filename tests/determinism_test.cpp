@@ -10,8 +10,10 @@
 #include "baselines/parallel_bo.h"
 #include "config/sampler.h"
 #include "sim/system_sim.h"
+#include "core/bo_tuner.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
+#include "workloads/eval_supervisor.h"
 #include "workloads/objective_adapter.h"
 
 namespace autodml {
@@ -99,6 +101,59 @@ TEST(Determinism, ParallelBoReproduces) {
   const auto b = run();
   EXPECT_DOUBLE_EQ(a.first, b.first);
   EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(Determinism, FaultScheduleReproduces) {
+  const sim::FaultSpec spec = sim::light_fault_spec();
+  const sim::FaultInjector a(spec, 8, 77), b(spec, 8, 77);
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (std::size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace()[i].kind, b.trace()[i].kind) << i;
+    EXPECT_EQ(a.trace()[i].worker, b.trace()[i].worker) << i;
+    EXPECT_DOUBLE_EQ(a.trace()[i].start, b.trace()[i].start) << i;
+    EXPECT_DOUBLE_EQ(a.trace()[i].duration, b.trace()[i].duration) << i;
+  }
+}
+
+TEST(Determinism, SupervisedTunerUnderFaultsReproduces) {
+  // The whole robustness stack at once: fault injection, whole-job kills,
+  // supervised retries with jittered backoff, failure classification.
+  // Identical seeds must yield identical trial sequences and ledgers.
+  const wl::Workload& workload = wl::workload_by_name("mlp-tabular");
+  const auto run = [&] {
+    wl::EvaluatorOptions eval_options;
+    eval_options.faults = sim::heavy_fault_spec();
+    wl::Evaluator evaluator(workload, 88, eval_options);
+    wl::EvalSupervisor supervisor(evaluator, wl::RetryPolicy{}, 88);
+    wl::SupervisedObjective objective(supervisor);
+    core::BoOptions options;
+    options.seed = 88;
+    options.max_evaluations = 8;
+    options.initial_design_size = 4;
+    options.surrogate.gp.restarts = 1;
+    options.surrogate.gp.adam_iterations = 60;
+    options.acq_optimizer.random_candidates = 256;
+    core::BoTuner tuner(objective, options);
+    const core::TuningResult result = tuner.tune();
+    return std::make_pair(result, evaluator.total_spent_seconds());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.first.best_objective, b.first.best_objective);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+  ASSERT_EQ(a.first.trials.size(), b.first.trials.size());
+  for (std::size_t i = 0; i < a.first.trials.size(); ++i) {
+    EXPECT_TRUE(a.first.trials[i].config == b.first.trials[i].config) << i;
+    EXPECT_EQ(a.first.trials[i].outcome.attempts,
+              b.first.trials[i].outcome.attempts)
+        << i;
+    EXPECT_EQ(a.first.trials[i].outcome.failure_kind,
+              b.first.trials[i].outcome.failure_kind)
+        << i;
+    EXPECT_DOUBLE_EQ(a.first.trials[i].outcome.spent_seconds,
+                     b.first.trials[i].outcome.spent_seconds)
+        << i;
+  }
 }
 
 // ---- misc utility coverage -------------------------------------------------------

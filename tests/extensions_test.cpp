@@ -283,9 +283,11 @@ TEST(SessionIo, RejectsMalformedDocuments) {
   SyntheticObjective objective;
   EXPECT_THROW(core::trials_from_json("[]", objective.space()),
                std::invalid_argument);
+  // Missing fields surface as invalid_argument with field context, never
+  // as raw map/variant access errors.
   EXPECT_THROW(core::trials_from_json("{\"trials\": [{}]}",
                                       objective.space()),
-               std::out_of_range);
+               std::invalid_argument);
   // Unknown parameter name.
   const char* doc = R"({"trials":[{"config":{"zzz":1},
       "outcome":{"feasible":true,"aborted":false,"failure":"",

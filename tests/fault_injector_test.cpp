@@ -1,0 +1,189 @@
+// Fault-injection runtime: deterministic schedules, query math, and the
+// sync-discipline-aware degradation the design promises (BSP stalls every
+// survivor on a straggler; ASP degrades by roughly one worker's share).
+#include <gtest/gtest.h>
+
+#include "sim/fault_injector.h"
+#include "sim/ps_runtime.h"
+#include "sim/system_sim.h"
+
+namespace autodml::sim {
+namespace {
+
+Cluster make_cluster(int workers, int servers) {
+  ClusterSpec spec;
+  spec.worker_type = "std8";
+  spec.server_type = "mem8";
+  spec.num_workers = workers;
+  spec.num_servers = servers;
+  spec.heterogeneity_sigma = 0.0;
+  spec.straggler_sigma = 0.0;
+  util::Rng rng(1);
+  return provision(spec, rng);
+}
+
+JobParams make_job(SyncMode mode) {
+  JobParams job;
+  // Compute-dominated on std8 (95 GFLOPs): ~0.7s compute vs ~6ms transfer,
+  // so compute-slowdown faults visibly move end-to-end throughput.
+  job.model_bytes = 4e6;
+  job.flops_per_sample = 2e9;
+  job.batch_per_worker = 32;
+  job.sync = mode;
+  job.comm_threads = 4;
+  return job;
+}
+
+TEST(FaultInjector, SameSeedYieldsIdenticalTrace) {
+  const FaultSpec spec = heavy_fault_spec();
+  const FaultInjector a(spec, 6, /*seed=*/123);
+  const FaultInjector b(spec, 6, /*seed=*/123);
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  ASSERT_GT(a.trace().size(), 0u);
+  for (std::size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace()[i].kind, b.trace()[i].kind) << i;
+    EXPECT_EQ(a.trace()[i].worker, b.trace()[i].worker) << i;
+    EXPECT_DOUBLE_EQ(a.trace()[i].start, b.trace()[i].start) << i;
+    EXPECT_DOUBLE_EQ(a.trace()[i].duration, b.trace()[i].duration) << i;
+    EXPECT_DOUBLE_EQ(a.trace()[i].factor, b.trace()[i].factor) << i;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsYieldDifferentTraces) {
+  const FaultSpec spec = heavy_fault_spec();
+  const FaultInjector a(spec, 6, 123);
+  const FaultInjector b(spec, 6, 124);
+  bool differs = a.trace().size() != b.trace().size();
+  for (std::size_t i = 0; !differs && i < a.trace().size(); ++i) {
+    differs = a.trace()[i].start != b.trace()[i].start;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, DisabledSpecInjectsNothing) {
+  const FaultSpec spec;  // all rates zero
+  EXPECT_FALSE(spec.injects_runtime_faults());
+  EXPECT_FALSE(spec.enabled());
+  const FaultInjector injector(spec, 4, 99);
+  EXPECT_TRUE(injector.trace().empty());
+  EXPECT_DOUBLE_EQ(injector.downtime_during(0, 0.0, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(injector.compute_slowdown(0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.network_penalty(100.0), 1.0);
+}
+
+TEST(FaultInjector, CraftedScheduleQueriesAddUp) {
+  std::vector<FaultEvent> events;
+  events.push_back({FaultKind::kWorkerCrash, 0, 10.0, 30.0, 1.0});
+  events.push_back({FaultKind::kPreemption, 0, 100.0, 180.0, 1.0});
+  events.push_back({FaultKind::kWorkerCrash, 1, 50.0, 30.0, 1.0});
+  events.push_back({FaultKind::kStragglerEpisode, 0, 200.0, 60.0, 4.0});
+  events.push_back({FaultKind::kNetworkDegrade, 0, 300.0, 20.0, 5.0});
+  const FaultInjector injector(FaultSpec{}, 2, std::move(events));
+
+  // Downtime counts events *starting* inside the window, per worker.
+  EXPECT_DOUBLE_EQ(injector.downtime_during(0, 0.0, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(injector.downtime_during(0, 0.0, 500.0), 210.0);
+  EXPECT_DOUBLE_EQ(injector.downtime_during(0, 10.0, 11.0), 30.0);
+  EXPECT_DOUBLE_EQ(injector.downtime_during(0, 11.0, 99.0), 0.0);
+  EXPECT_DOUBLE_EQ(injector.downtime_during(1, 0.0, 500.0), 30.0);
+
+  // Straggler episodes slow only their window and worker.
+  EXPECT_DOUBLE_EQ(injector.compute_slowdown(0, 199.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.compute_slowdown(0, 230.0), 4.0);
+  EXPECT_DOUBLE_EQ(injector.compute_slowdown(0, 261.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.compute_slowdown(1, 230.0), 1.0);
+
+  // Network degradation is cluster-wide.
+  EXPECT_DOUBLE_EQ(injector.network_penalty(299.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.network_penalty(310.0), 5.0);
+  EXPECT_DOUBLE_EQ(injector.network_penalty(321.0), 1.0);
+}
+
+TEST(FaultInjector, BspStallsOnStragglerHarderThanAsp) {
+  // One permanently slowed worker (factor 8). BSP's barrier drags every
+  // iteration down to the straggler's pace; ASP loses only roughly that
+  // worker's contribution.
+  const Cluster cluster = make_cluster(8, 2);
+  std::vector<FaultEvent> events;
+  events.push_back({FaultKind::kStragglerEpisode, 0, 0.0, 1e9, 8.0});
+  const FaultInjector injector(FaultSpec{}, 8, std::move(events));
+
+  PsSimOptions faulted;
+  faulted.faults = &injector;
+  const PsSimOptions clean;
+
+  double ratio[2];
+  const SyncMode modes[2] = {SyncMode::kBsp, SyncMode::kAsp};
+  for (int m = 0; m < 2; ++m) {
+    util::Rng rng_clean(7), rng_faulted(7);
+    const RuntimeStats base =
+        simulate_ps(cluster, make_job(modes[m]), rng_clean, clean);
+    const RuntimeStats hurt =
+        simulate_ps(cluster, make_job(modes[m]), rng_faulted, faulted);
+    ASSERT_GT(base.samples_per_second, 0.0);
+    ratio[m] = hurt.samples_per_second / base.samples_per_second;
+  }
+  EXPECT_LT(ratio[0], 0.5);   // BSP: barrier-bound, near the straggler pace
+  EXPECT_GT(ratio[1], 0.6);   // ASP: survivors keep committing
+  EXPECT_LT(ratio[0], ratio[1]);
+}
+
+TEST(FaultInjector, CrashDowntimeLandsInRuntimeStats) {
+  const Cluster cluster = make_cluster(4, 2);
+  std::vector<FaultEvent> events;
+  events.push_back({FaultKind::kWorkerCrash, 2, 0.05, 30.0, 1.0});
+  const FaultInjector injector(FaultSpec{}, 4, std::move(events));
+  PsSimOptions options;
+  options.faults = &injector;
+  util::Rng rng(7);
+  const RuntimeStats stats =
+      simulate_ps(cluster, make_job(SyncMode::kBsp), rng, options);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GE(stats.fault_events, 1);
+  EXPECT_GE(stats.fault_downtime_seconds, 30.0);
+}
+
+TEST(FaultInjector, SystemSimWithFaultsIsDeterministic) {
+  SystemConfig config;
+  config.arch = Arch::kPs;
+  config.cluster.worker_type = "std8";
+  config.cluster.server_type = "mem8";
+  config.cluster.num_workers = 8;
+  config.cluster.num_servers = 4;
+  config.job.model_bytes = 120e6;
+  config.job.flops_per_sample = 1e8;
+  config.job.batch_per_worker = 64;
+  SystemSimOptions options;
+  options.faults = heavy_fault_spec();
+  util::Rng a(21), b(21);
+  const SystemPerformance pa = evaluate_system(config, a, options);
+  const SystemPerformance pb = evaluate_system(config, b, options);
+  ASSERT_TRUE(pa.feasible);
+  EXPECT_DOUBLE_EQ(pa.runtime.samples_per_second,
+                   pb.runtime.samples_per_second);
+  EXPECT_DOUBLE_EQ(pa.runtime.fault_downtime_seconds,
+                   pb.runtime.fault_downtime_seconds);
+  EXPECT_EQ(pa.runtime.fault_events, pb.runtime.fault_events);
+}
+
+TEST(FaultInjector, DisabledSpecLeavesSimulationByteIdentical) {
+  // The injector is only constructed when a spec injects runtime faults,
+  // so a disabled spec must not perturb any rng stream.
+  SystemConfig config;
+  config.arch = Arch::kAllReduce;
+  config.cluster.worker_type = "std8";
+  config.cluster.num_workers = 4;
+  config.job.model_bytes = 50e6;
+  config.job.flops_per_sample = 1e7;
+  config.job.batch_per_worker = 32;
+  util::Rng a(5), b(5);
+  const SystemPerformance legacy = evaluate_system(config, a);
+  SystemSimOptions options;  // default: faults disabled
+  const SystemPerformance gated = evaluate_system(config, b, options);
+  EXPECT_DOUBLE_EQ(legacy.runtime.samples_per_second,
+                   gated.runtime.samples_per_second);
+  EXPECT_EQ(gated.runtime.fault_events, 0);
+}
+
+}  // namespace
+}  // namespace autodml::sim

@@ -1,0 +1,194 @@
+// EvalSupervisor: retry/backoff mechanics, transient-vs-deterministic
+// classification, ledger accounting, and the feasibility-model exclusion
+// of transient failures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/surrogate.h"
+#include "workloads/eval_supervisor.h"
+#include "workloads/objective_adapter.h"
+
+namespace autodml::wl {
+namespace {
+
+const Workload& test_workload() { return workload_by_name("mlp-tabular"); }
+
+conf::Config expert_config(const Evaluator& evaluator) {
+  return default_expert_config(evaluator.workload(), evaluator.space());
+}
+
+/// A kill rate so high that every attempt dies almost immediately.
+EvaluatorOptions certain_kill_options() {
+  EvaluatorOptions options;
+  options.faults.job_kill_rate_per_hour = 1e7;
+  return options;
+}
+
+TEST(Backoff, GrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 30.0;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap_seconds = 100.0;
+  EXPECT_DOUBLE_EQ(backoff_mean_seconds(policy, 1), 30.0);
+  EXPECT_DOUBLE_EQ(backoff_mean_seconds(policy, 2), 60.0);
+  EXPECT_DOUBLE_EQ(backoff_mean_seconds(policy, 3), 100.0);  // capped (120)
+  EXPECT_DOUBLE_EQ(backoff_mean_seconds(policy, 9), 100.0);
+}
+
+TEST(Supervisor, RetriesTransientFailuresUpToTheCap) {
+  Evaluator evaluator(test_workload(), /*seed=*/5, certain_kill_options());
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  EvalSupervisor supervisor(evaluator, policy, /*seed=*/5);
+  const SupervisedOutcome out = supervisor.evaluate(expert_config(evaluator));
+  EXPECT_EQ(out.attempts, 4);
+  ASSERT_EQ(out.attempt_kinds.size(), 4u);
+  for (const core::FailureKind kind : out.attempt_kinds) {
+    EXPECT_EQ(kind, core::FailureKind::kInfraCrash);
+  }
+  EXPECT_FALSE(out.result.feasible);
+  EXPECT_TRUE(core::is_transient(out.result.failure_kind));
+  EXPECT_GT(out.backoff_seconds, 0.0);
+}
+
+TEST(Supervisor, BackoffStaysInsideJitterBounds) {
+  Evaluator evaluator(test_workload(), 5, certain_kill_options());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_seconds = 30.0;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap_seconds = 600.0;
+  policy.jitter_fraction = 0.25;
+  EvalSupervisor supervisor(evaluator, policy, 5);
+  const SupervisedOutcome out = supervisor.evaluate(expert_config(evaluator));
+  // Two retries: means 30 and 60, each jittered by at most 25%.
+  EXPECT_GE(out.backoff_seconds, 90.0 * 0.75);
+  EXPECT_LE(out.backoff_seconds, 90.0 * 1.25);
+}
+
+TEST(Supervisor, BackoffAndAllAttemptsChargeTheLedger) {
+  Evaluator evaluator(test_workload(), 5, certain_kill_options());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EvalSupervisor supervisor(evaluator, policy, 5);
+  const SupervisedOutcome out = supervisor.evaluate(expert_config(evaluator));
+  EXPECT_NEAR(evaluator.total_spent_seconds(), out.total_spent_seconds, 1e-9);
+  EXPECT_GT(out.total_spent_seconds, out.backoff_seconds);
+}
+
+TEST(Supervisor, JitterIsDeterministicGivenSeed) {
+  SupervisedOutcome outs[2];
+  for (int i = 0; i < 2; ++i) {
+    Evaluator evaluator(test_workload(), 5, certain_kill_options());
+    EvalSupervisor supervisor(evaluator, RetryPolicy{}, /*seed=*/17);
+    outs[i] = supervisor.evaluate(expert_config(evaluator));
+  }
+  EXPECT_DOUBLE_EQ(outs[0].backoff_seconds, outs[1].backoff_seconds);
+  EXPECT_DOUBLE_EQ(outs[0].total_spent_seconds, outs[1].total_spent_seconds);
+}
+
+TEST(Supervisor, DeterministicFailuresAreNotRetried) {
+  // An impossible SLO makes every run a deterministic deadline failure.
+  EvaluatorOptions options;
+  options.deadline_seconds = 1.0;
+  Evaluator evaluator(test_workload(), 5, options);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  EvalSupervisor supervisor(evaluator, policy, 5);
+  const SupervisedOutcome out = supervisor.evaluate(expert_config(evaluator));
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_FALSE(out.result.feasible);
+  EXPECT_EQ(out.result.failure_kind, core::FailureKind::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(out.backoff_seconds, 0.0);
+}
+
+TEST(Supervisor, TimeoutBecomesDeterministicEvalTimeout) {
+  Evaluator probe(test_workload(), 5, EvaluatorOptions{});
+  const EvalResult truth = probe.evaluate_ground_truth(expert_config(probe));
+  ASSERT_TRUE(truth.feasible);
+
+  Evaluator evaluator(test_workload(), 5, EvaluatorOptions{});
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.attempt_timeout_seconds = truth.tta_seconds / 4.0;
+  EvalSupervisor supervisor(evaluator, policy, 5);
+  const SupervisedOutcome out = supervisor.evaluate(expert_config(evaluator));
+  EXPECT_EQ(out.attempts, 1);  // hung evaluations are not retried
+  EXPECT_FALSE(out.result.feasible);
+  EXPECT_FALSE(out.result.terminated_early);
+  EXPECT_EQ(out.result.failure_kind, core::FailureKind::kEvalTimeout);
+}
+
+TEST(Supervisor, RetryCanRecoverAnEvaluation) {
+  // Tune the kill rate to ~50% per attempt for this config's duration:
+  // some attempts die, some survive, so with enough evaluations at least
+  // one must succeed only thanks to a retry. Deterministic given the seed.
+  Evaluator probe(test_workload(), 11, EvaluatorOptions{});
+  const conf::Config config = expert_config(probe);
+  const EvalResult truth = probe.evaluate_ground_truth(config);
+  ASSERT_TRUE(truth.feasible);
+
+  EvaluatorOptions options;
+  options.faults.job_kill_rate_per_hour = 0.7 * 3600.0 / truth.tta_seconds;
+  Evaluator evaluator(test_workload(), 11, options);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  EvalSupervisor supervisor(evaluator, policy, 11);
+  bool recovered = false;
+  for (int i = 0; i < 30 && !recovered; ++i) {
+    const SupervisedOutcome out = supervisor.evaluate(config);
+    recovered = out.result.feasible && out.attempts > 1;
+  }
+  EXPECT_TRUE(recovered);
+}
+
+TEST(Supervisor, FeasibilityModelIgnoresTransientFailures) {
+  // A history whose only failures are transient must leave the feasibility
+  // model certain: every deterministic data point says "feasible".
+  Evaluator evaluator(test_workload(), 5, EvaluatorOptions{});
+  const conf::ConfigSpace& space = evaluator.space();
+  util::Rng rng(3);
+
+  std::vector<core::Trial> trials;
+  for (int i = 0; i < 12; ++i) {
+    core::Trial t;
+    t.config = space.sample_uniform(rng);
+    if (i % 2 == 0) {
+      t.outcome.feasible = true;
+      t.outcome.objective = 100.0 + i;
+    } else {
+      t.outcome.feasible = false;
+      t.outcome.failure_kind = core::FailureKind::kPreempted;
+      t.outcome.failure = "spot preemption";
+    }
+    t.outcome.spent_seconds = 1.0;
+    trials.push_back(std::move(t));
+  }
+
+  core::SurrogateOptions options;
+  options.gp.restarts = 1;
+  options.gp.adam_iterations = 40;
+  core::SurrogateModel surrogate(space, options, /*seed=*/9);
+  surrogate.update(trials);
+  ASSERT_TRUE(surrogate.ready());
+  for (const core::Trial& t : trials) {
+    EXPECT_NEAR(surrogate.score(t.config).prob_feasible, 1.0, 1e-6);
+  }
+}
+
+TEST(SupervisedObjective, ReportsAttemptsAndAggregateCost) {
+  Evaluator evaluator(test_workload(), 5, certain_kill_options());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EvalSupervisor supervisor(evaluator, policy, 5);
+  SupervisedObjective objective(supervisor);
+  const core::RunOutcome out =
+      objective.run(expert_config(evaluator), nullptr);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_TRUE(out.transient_failure());
+  EXPECT_NEAR(out.spent_seconds, evaluator.total_spent_seconds(), 1e-9);
+}
+
+}  // namespace
+}  // namespace autodml::wl
