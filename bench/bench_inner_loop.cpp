@@ -1,0 +1,288 @@
+// Experiment R-P11 — BO inner-loop latency vs. history size.
+//
+// The tuner's own overhead is dominated by two operations repeated every
+// trial: refitting the surrogate on the grown history and scoring the
+// acquisition candidate pool. This bench measures both against history size
+// n, comparing (a) the O(n^3) full refactorization against the O(n^2)
+// rank-1 incremental update a non-hyperopt round now takes, and (b) serial
+// against thread-pool acquisition scoring — asserting the parallel proposal
+// is identical to the serial one. Results land in BENCH_inner_loop.json to
+// seed the repo's performance trajectory; CI runs `--smoke` and uploads the
+// file as an artifact.
+//
+// Usage: bench_inner_loop [--smoke] [--out=BENCH_inner_loop.json]
+//                         [--reps=N] [--threads=K]
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/config_space.h"
+#include "core/acquisition_optimizer.h"
+#include "core/surrogate.h"
+#include "core/tuner_types.h"
+#include "gp/gp.h"
+#include "gp/kernel.h"
+#include "util/arg_parse.h"
+#include "util/csv.h"
+#include "util/fs.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+using namespace autodml;
+
+namespace {
+
+constexpr std::size_t kDim = 6;
+
+std::string param_name(std::size_t d) {
+  std::string name = "p";
+  name += std::to_string(d);
+  return name;
+}
+
+conf::ConfigSpace make_space() {
+  conf::ConfigSpace space;
+  for (std::size_t d = 0; d < kDim; ++d) {
+    space.add(conf::ParamSpec::continuous(param_name(d), 0.0, 1.0));
+  }
+  return space;
+}
+
+/// Smooth deterministic response over the unit cube (positive: the
+/// surrogate trains on its log).
+double response(const conf::Config& config) {
+  double v = 10.0;
+  for (std::size_t d = 0; d < kDim; ++d) {
+    const double x = config.get_double(param_name(d));
+    v += 3.0 * std::sin(2.0 * (static_cast<double>(d) + 1.0) * x) + 4.0 * x;
+  }
+  return v;
+}
+
+std::vector<core::Trial> make_history(const conf::ConfigSpace& space,
+                                      std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::Trial> history;
+  history.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Trial t;
+    t.config = space.sample_uniform(rng);
+    t.outcome.feasible = true;
+    t.outcome.objective = response(t.config);
+    t.outcome.spent_seconds = 5.0 + t.outcome.objective;
+    history.push_back(std::move(t));
+  }
+  return history;
+}
+
+/// Surrogate options with hyperopt disabled: the comparison is pure
+/// factorization-vs-append, exactly the non-hyperopt rounds the tuner runs
+/// between hyperparameter refits.
+core::SurrogateOptions fixed_hyper_options() {
+  core::SurrogateOptions options;
+  options.hyperopt_every = 1 << 20;
+  options.gp.optimize_hyperparams = false;
+  return options;
+}
+
+double mean_ms(const std::vector<double>& ms) {
+  return ms.empty() ? 0.0
+                    : std::accumulate(ms.begin(), ms.end(), 0.0) /
+                          static_cast<double>(ms.size());
+}
+
+struct SizeResult {
+  std::size_t n = 0;
+  double surrogate_full_ms = 0.0;
+  double surrogate_incr_ms = 0.0;
+  double gp_refit_ms = 0.0;
+  double gp_append_ms = 0.0;
+  double propose_serial_ms = 0.0;
+  double propose_parallel_ms = 0.0;
+  bool propose_identical = true;
+};
+
+SizeResult measure(std::size_t n, int reps, int candidates,
+                   util::ThreadPool& pool) {
+  const conf::ConfigSpace space = make_space();
+  const std::vector<core::Trial> history =
+      make_history(space, n + static_cast<std::size_t>(reps), 1000 + n);
+  SizeResult out;
+  out.n = n;
+
+  // ---- surrogate update: incremental (warm cache) vs full (cold model) ----
+  {
+    core::SurrogateModel warm(space, fixed_hyper_options(), 1);
+    warm.update(std::span(history).subspan(0, n));
+    std::vector<double> incr_ms, full_ms;
+    for (int r = 0; r < reps; ++r) {
+      const auto span =
+          std::span(history).subspan(0, n + static_cast<std::size_t>(r) + 1);
+      util::Stopwatch watch;
+      warm.update(span);  // extends the previous set by exactly one trial
+      incr_ms.push_back(watch.elapsed_ms());
+
+      core::SurrogateModel cold(space, fixed_hyper_options(), 1);
+      watch.reset();
+      cold.update(span);  // what every trial cost before the rank-1 path
+      full_ms.push_back(watch.elapsed_ms());
+    }
+    out.surrogate_incr_ms = mean_ms(incr_ms);
+    out.surrogate_full_ms = mean_ms(full_ms);
+  }
+
+  // ---- raw GP: refit vs append_observation ----
+  {
+    math::Matrix x(n, kDim);
+    math::Vec y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const math::Vec e = space.encode(history[i].config);
+      std::copy(e.begin(), e.end(), x.row(i).begin());
+      y[i] = std::log(history[i].outcome.objective);
+    }
+    gp::GpOptions gp_options;
+    gp_options.optimize_hyperparams = false;
+    gp::GaussianProcess base(std::make_unique<gp::Matern52Ard>(kDim),
+                             gp_options);
+    base.refit(x, y);
+    const math::Vec x_new = space.encode(history[n].config);
+    const double y_new = std::log(history[n].outcome.objective);
+
+    math::Matrix x_ext(n + 1, kDim);
+    std::copy(x.data().begin(), x.data().end(), x_ext.data().begin());
+    std::copy(x_new.begin(), x_new.end(), x_ext.row(n).begin());
+    math::Vec y_ext = y;
+    y_ext.push_back(y_new);
+
+    std::vector<double> refit_ms, append_ms;
+    for (int r = 0; r < reps; ++r) {
+      gp::GaussianProcess copy(base);  // copy outside the timed region
+      util::Stopwatch watch;
+      const bool fast = copy.append_observation(x_new, y_new);
+      append_ms.push_back(watch.elapsed_ms());
+      if (!fast) std::cerr << "warning: append fell back to full refit\n";
+
+      watch.reset();
+      base.refit(x_ext, y_ext);
+      refit_ms.push_back(watch.elapsed_ms());
+      base.refit(x, y);  // restore size n (untimed side effect)
+    }
+    out.gp_append_ms = mean_ms(append_ms);
+    out.gp_refit_ms = mean_ms(refit_ms);
+  }
+
+  // ---- acquisition proposal: serial vs pooled, identical winner ----
+  {
+    core::SurrogateModel model(space, fixed_hyper_options(), 1);
+    const auto span = std::span(history).subspan(0, n);
+    model.update(span);
+    core::AcqOptimizerOptions serial_options;
+    serial_options.random_candidates = candidates;
+    core::AcqOptimizerOptions pooled_options = serial_options;
+    pooled_options.pool = &pool;
+
+    std::vector<double> serial_ms, parallel_ms;
+    for (int r = 0; r < reps; ++r) {
+      util::Rng rng_a(77 + r), rng_b(77 + r);
+      util::Stopwatch watch;
+      const auto a = core::propose_candidate(
+          model, core::AcquisitionKind::kLogEi, span, rng_a, serial_options);
+      serial_ms.push_back(watch.elapsed_ms());
+      watch.reset();
+      const auto b = core::propose_candidate(
+          model, core::AcquisitionKind::kLogEi, span, rng_b, pooled_options);
+      parallel_ms.push_back(watch.elapsed_ms());
+      if (!a || !b || !(*a == *b)) out.propose_identical = false;
+    }
+    out.propose_serial_ms = mean_ms(serial_ms);
+    out.propose_parallel_ms = mean_ms(parallel_ms);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false) || args.has("smoke");
+  const int reps = static_cast<int>(args.get_int("reps", smoke ? 3 : 8));
+  const int candidates =
+      static_cast<int>(args.get_int("candidates", smoke ? 256 : 512));
+  const std::size_t threads = static_cast<std::size_t>(args.get_int(
+      "threads",
+      std::max(2u, std::thread::hardware_concurrency())));
+  const std::string out_path = args.get("out", "BENCH_inner_loop.json");
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{16, 64, 256}
+            : std::vector<std::size_t>{16, 32, 64, 128, 256, 512};
+
+  util::ThreadPool pool(threads);
+  bool all_identical = true;
+  util::JsonArray rows;
+  std::vector<std::vector<std::string>> table;
+  for (std::size_t n : sizes) {
+    const SizeResult r = measure(n, reps, candidates, pool);
+    all_identical = all_identical && r.propose_identical;
+    const double surrogate_speedup =
+        r.surrogate_incr_ms > 0.0 ? r.surrogate_full_ms / r.surrogate_incr_ms
+                                  : 0.0;
+    const double gp_speedup =
+        r.gp_append_ms > 0.0 ? r.gp_refit_ms / r.gp_append_ms : 0.0;
+    util::JsonObject row;
+    row["n"] = static_cast<double>(r.n);
+    row["surrogate_full_ms"] = r.surrogate_full_ms;
+    row["surrogate_incremental_ms"] = r.surrogate_incr_ms;
+    row["surrogate_speedup"] = surrogate_speedup;
+    row["gp_refit_ms"] = r.gp_refit_ms;
+    row["gp_append_ms"] = r.gp_append_ms;
+    row["gp_speedup"] = gp_speedup;
+    row["propose_serial_ms"] = r.propose_serial_ms;
+    row["propose_parallel_ms"] = r.propose_parallel_ms;
+    row["propose_identical"] = r.propose_identical;
+    rows.push_back(util::JsonValue(std::move(row)));
+    table.push_back({std::to_string(n), util::fmt(r.surrogate_full_ms, 3),
+                     util::fmt(r.surrogate_incr_ms, 3),
+                     util::fmt(surrogate_speedup, 3),
+                     util::fmt(r.gp_refit_ms, 3), util::fmt(r.gp_append_ms, 3),
+                     util::fmt(gp_speedup, 3),
+                     util::fmt(r.propose_serial_ms, 3),
+                     util::fmt(r.propose_parallel_ms, 3),
+                     r.propose_identical ? "yes" : "NO"});
+  }
+
+  const std::vector<std::string> header = {
+      "n",          "surr_full_ms", "surr_incr_ms",  "surr_x",
+      "gp_full_ms", "gp_incr_ms",   "gp_x",          "prop_serial_ms",
+      "prop_pool_ms", "identical"};
+  std::cout << "\n=== R-P11: BO inner-loop latency (reps=" << reps
+            << ", threads=" << threads << ", candidates=" << candidates
+            << ") ===\n"
+            << util::render_table(header, table);
+  std::cout << "csv," << util::join(header, ",") << "\n";
+  for (const auto& row : table)
+    std::cout << "csv," << util::join(row, ",") << "\n";
+
+  util::JsonObject doc;
+  doc["bench"] = "inner_loop";
+  doc["smoke"] = smoke;
+  doc["reps"] = reps;
+  doc["acq_threads"] = static_cast<double>(threads);
+  doc["candidates"] = candidates;
+  doc["sizes"] = util::JsonValue(std::move(rows));
+  util::write_file_atomic(out_path, util::dump_json(util::JsonValue(std::move(doc)), 2) + "\n");
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!all_identical) {
+    std::cerr << "FAIL: parallel proposal diverged from serial\n";
+    return 1;
+  }
+  return 0;
+}

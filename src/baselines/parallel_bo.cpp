@@ -1,23 +1,34 @@
 #include "baselines/parallel_bo.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "config/sampler.h"
 #include "core/acquisition_optimizer.h"
 #include "core/early_termination.h"
+#include "util/thread_pool.h"
 
 namespace autodml::baselines {
 
-// Deliberately single-threaded: each round evaluates its constant-liar
-// batch sequentially and charges the *slowest* member to wall_clock_seconds,
-// modeling q machines running in parallel. Real threads would break
-// determinism without changing any number this baseline reports.
+// Evaluation stays single-threaded: each round runs its constant-liar batch
+// sequentially and charges the *slowest* member to wall_clock_seconds,
+// modeling q machines running in parallel. Acquisition scoring inside each
+// proposal may use real threads (acq_threads > 1) — its deterministic
+// reduction keeps every number this baseline reports identical.
 ParallelBoResult parallel_bo(core::ObjectiveFunction& objective,
                              const ParallelBoOptions& options) {
   if (options.batch_size < 1 || options.rounds < 1)
     throw std::invalid_argument("parallel_bo: bad batch/round counts");
   util::Rng rng(options.seed);
   const conf::ConfigSpace& space = objective.space();
+
+  std::unique_ptr<util::ThreadPool> acq_pool;
+  core::AcqOptimizerOptions acq_optimizer = options.acq_optimizer;
+  if (options.acq_threads > 1) {
+    acq_pool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(options.acq_threads));
+    acq_optimizer.pool = acq_pool.get();
+  }
 
   core::EarlyTermOptions early_term = options.early_term;
   early_term.target_metric = objective.target_metric();
@@ -55,8 +66,7 @@ ParallelBoResult parallel_bo(core::ObjectiveFunction& objective,
   for (int round = 1; round < options.rounds; ++round) {
     const std::vector<conf::Config> batch = core::propose_batch(
         space, options.surrogate, options.acquisition, history,
-        static_cast<std::size_t>(options.batch_size), rng,
-        options.acq_optimizer);
+        static_cast<std::size_t>(options.batch_size), rng, acq_optimizer);
     run_round(batch, /*allow_early_term=*/true);
   }
   return result;

@@ -4,8 +4,10 @@
 // clusters), the tuner proposes a batch per round via the constant-liar
 // heuristic and the round's wall-clock time is the *maximum* of its runs'
 // evaluation times instead of their sum. This driver executes rounds
-// sequentially (the simulation is single-threaded) but accounts wall clock
-// as a parallel executor would — the quantity experiment R-F13 reports.
+// sequentially (the simulated evaluations are single-threaded) but accounts
+// wall clock as a parallel executor would — the quantity experiment R-F13
+// reports. Acquisition scoring inside each proposal can optionally run on a
+// thread pool (`acq_threads`) without changing any proposal.
 #pragma once
 
 #include "core/bo_tuner.h"
@@ -20,6 +22,10 @@ struct ParallelBoOptions {
   core::EarlyTermOptions early_term;
   core::SurrogateOptions surrogate;
   core::AcqOptimizerOptions acq_optimizer;
+  /// Worker threads for acquisition-candidate scoring inside each
+  /// constant-liar proposal (1 = serial). Deterministic at any value: the
+  /// batches — and every number this baseline reports — are identical.
+  int acq_threads = 1;
   std::uint64_t seed = 1;
 };
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <set>
+
+#include "util/thread_pool.h"
 
 namespace autodml::core {
 
@@ -14,6 +17,49 @@ std::set<math::Vec> encode_history(const conf::ConfigSpace& space,
   std::set<math::Vec> seen;
   for (const Trial& t : history) seen.insert(space.encode(t.config));
   return seen;
+}
+
+/// Score every candidate, serially or chunked across the pool. Writes into
+/// per-index slots so the result is independent of scheduling order.
+std::vector<double> score_candidates(const SurrogateModel& surrogate,
+                                     AcquisitionKind kind,
+                                     std::span<const conf::Config> candidates,
+                                     const AcqOptimizerOptions& options) {
+  std::vector<double> scores(candidates.size());
+  const auto score_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const SurrogateScore s = surrogate.score(candidates[i]);
+      AcquisitionInputs in;
+      in.mean = s.mean;
+      in.variance = s.variance;
+      in.incumbent = surrogate.incumbent_log();
+      in.prob_feasible = s.prob_feasible;
+      in.log_cost = s.log_cost;
+      in.ucb_beta = options.ucb_beta;
+      scores[i] = score_acquisition(kind, in);
+    }
+  };
+  if (options.pool == nullptr || options.pool->size() < 2 ||
+      candidates.size() < 2) {
+    score_range(0, candidates.size());
+    return scores;
+  }
+  // Oversplit relative to the thread count so a slow chunk (e.g. one
+  // hitting the feasibility GP) does not serialize the tail.
+  const std::size_t chunks =
+      std::min(candidates.size(), options.pool->size() * 4);
+  const std::size_t per_chunk = (candidates.size() + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t begin = 0; begin < candidates.size(); begin += per_chunk) {
+    const std::size_t end = std::min(begin + per_chunk, candidates.size());
+    futures.push_back(
+        options.pool->submit([&score_range, begin, end] {
+          score_range(begin, end);
+        }));
+  }
+  for (auto& f : futures) f.get();
+  return scores;
 }
 
 }  // namespace
@@ -50,24 +96,27 @@ std::optional<conf::Config> propose_candidate(
     }
   }
 
-  double best_score = -std::numeric_limits<double>::infinity();
-  std::optional<conf::Config> best;
+  // Dedup serially in generation order (against the history and within the
+  // pool), then score the survivors — concurrently when a pool is supplied.
+  std::vector<conf::Config> unique;
+  unique.reserve(candidates.size());
   std::set<math::Vec> pooled;  // dedup within the pool too
   for (auto& candidate : candidates) {
     math::Vec x = space.encode(candidate);
     if (seen.count(x) || !pooled.insert(std::move(x)).second) continue;
-    const SurrogateScore s = surrogate.score(candidate);
-    AcquisitionInputs in;
-    in.mean = s.mean;
-    in.variance = s.variance;
-    in.incumbent = surrogate.incumbent_log();
-    in.prob_feasible = s.prob_feasible;
-    in.log_cost = s.log_cost;
-    in.ucb_beta = options.ucb_beta;
-    const double score = score_acquisition(kind, in);
-    if (score > best_score) {
-      best_score = score;
-      best = std::move(candidate);
+    unique.push_back(std::move(candidate));
+  }
+  const std::vector<double> scores =
+      score_candidates(surrogate, kind, unique, options);
+
+  // Lowest-index argmax: the strict `>` keeps the earliest of tied scores,
+  // matching the serial reduction regardless of thread count.
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::optional<conf::Config> best;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    if (scores[i] > best_score) {
+      best_score = scores[i];
+      best = std::move(unique[i]);
     }
   }
   return best;
@@ -83,6 +132,10 @@ std::vector<conf::Config> propose_batch(
   surrogate_options.hyperopt_every = 1 << 20;
   SurrogateModel model(space, surrogate_options, rng.split().next_u64());
   std::vector<Trial> augmented(history.begin(), history.end());
+  // Everything already evaluated or already in this batch. The uniform
+  // fallback must respect it too: resubmitting an evaluated configuration
+  // would waste a full (hours-long) evaluation.
+  std::set<math::Vec> seen = encode_history(space, history);
 
   std::vector<conf::Config> batch;
   batch.reserve(batch_size);
@@ -92,14 +145,30 @@ std::vector<conf::Config> propose_batch(
     if (model.ready()) {
       candidate = propose_candidate(model, kind, augmented, rng, options);
     }
-    if (!candidate) candidate = space.sample_uniform(rng);
-    // The lie: pretend the pending run returned the incumbent value.
+    if (!candidate) {
+      // Uniform fallback, rejection-sampled against `seen`. A small discrete
+      // space can be genuinely exhausted; give up after a bounded number of
+      // draws and return the shorter batch rather than a duplicate.
+      constexpr int kFallbackDraws = 64;
+      for (int attempt = 0; attempt < kFallbackDraws; ++attempt) {
+        conf::Config draw = space.sample_uniform(rng);
+        if (!seen.count(space.encode(draw))) {
+          candidate = std::move(draw);
+          break;
+        }
+      }
+    }
+    if (!candidate) break;  // space exhausted: fewer, but distinct, configs
+    seen.insert(space.encode(*candidate));
+    // The lie: pretend the pending run returned the incumbent value. Its
+    // cost stays at zero so the cost GP (spent_seconds > 0 filter) and any
+    // ledger-derived statistics never see fabricated spend.
     Trial lie;
     lie.config = *candidate;
     lie.outcome.feasible = true;
     lie.outcome.objective =
         model.ready() ? std::exp(model.incumbent_log()) : 1.0;
-    lie.outcome.spent_seconds = lie.outcome.objective;
+    lie.outcome.spent_seconds = 0.0;
     augmented.push_back(lie);
     batch.push_back(std::move(*candidate));
   }

@@ -15,6 +15,10 @@
 #include "core/surrogate.h"
 #include "core/tuner_types.h"
 
+namespace autodml::util {
+class ThreadPool;
+}
+
 namespace autodml::core {
 
 struct AcqOptimizerOptions {
@@ -23,6 +27,12 @@ struct AcqOptimizerOptions {
   int neighbors_per_seed = 16;
   double neighbor_sigma = 0.12;
   double ucb_beta = 2.0;
+  /// Optional worker pool for concurrent candidate scoring (not owned;
+  /// nullptr = serial). Determinism contract: candidates are generated and
+  /// deduplicated serially from the caller's RNG, scored concurrently into
+  /// per-candidate slots, and reduced to the lowest-index argmax — the
+  /// proposal is identical at any thread count, including serial.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Best candidate by acquisition score, or nullopt when every candidate is

@@ -16,6 +16,11 @@ BoTuner::BoTuner(ObjectiveFunction& objective, BoOptions options)
       rng_(options_.seed),
       surrogate_(objective.space(), options_.surrogate,
                  util::Rng(options_.seed).split().next_u64()) {
+  if (options_.acq_threads > 1) {
+    acq_pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(options_.acq_threads));
+    options_.acq_optimizer.pool = acq_pool_.get();
+  }
   // Lint before any budget is spent: one evaluation is expensive, and a
   // broken space (dead conditional, log range crossing zero, ...) would
   // silently waste the whole run. Errors are fatal; warnings are logged.

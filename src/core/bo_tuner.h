@@ -29,6 +29,7 @@
 #include "core/session_io.h"
 #include "core/surrogate.h"
 #include "core/tuner_types.h"
+#include "util/thread_pool.h"
 
 namespace autodml::core {
 
@@ -48,6 +49,11 @@ struct BoOptions {
   /// Append-only trial journal for crash-safe sessions (empty = disabled).
   /// An existing journal written with the same seed/space is resumed.
   std::string journal_path;
+  /// Worker threads for acquisition-candidate scoring (1 = serial). The
+  /// tuner owns the pool; proposals are bit-identical at any thread count
+  /// (see AcqOptimizerOptions::pool for the determinism contract), so this
+  /// only changes latency, never results.
+  int acq_threads = 1;
   std::uint64_t seed = 1;
 };
 
@@ -77,6 +83,7 @@ class BoTuner {
   ObjectiveFunction* objective_;
   BoOptions options_;
   util::Rng rng_;
+  std::unique_ptr<util::ThreadPool> acq_pool_;  // when acq_threads > 1
   SurrogateModel surrogate_;
   std::vector<Trial> history_;  // warm start + own trials
   std::vector<Trial> replay_;  // journaled trials pending replay

@@ -20,8 +20,6 @@ SurrogateModel::SurrogateModel(const conf::ConfigSpace& space,
     : space_(&space), options_(options), rng_(seed) {}
 
 void SurrogateModel::update(std::span<const Trial> trials) {
-  const std::size_t dim = space_->encoded_dimension();
-
   std::vector<math::Vec> ok_x, all_x, cost_x;
   std::vector<double> ok_y, feas_y, cost_y;
   std::vector<double> real_y;  // completed runs only: defines the incumbent
@@ -57,13 +55,51 @@ void SurrogateModel::update(std::span<const Trial> trials) {
       (updates_since_hyperopt_ % std::max(1, options_.hyperopt_every)) == 0;
   ++updates_since_hyperopt_;
 
-  const auto fit_one = [&](std::unique_ptr<gp::GaussianProcess>& model,
-                           const std::vector<math::Vec>& xs,
-                           const std::vector<double>& ys) {
-    if (xs.size() < 2) {
-      model.reset();
-      return;
-    }
+  fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, full_hyperopt);
+  fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, full_hyperopt);
+
+  // Feasibility model only earns its keep once failures exist; a constant
+  // label vector would just burn a GP fit.
+  const double failures =
+      std::count(feas_y.begin(), feas_y.end(), 1.0);
+  feasible_fraction_ =
+      feas_y.empty() ? 1.0
+                     : 1.0 - failures / static_cast<double>(feas_y.size());
+  if (failures > 0 && feas_y.size() >= 3) {
+    fit_or_append(feasibility_gp_, feasibility_cache_, all_x, feas_y,
+                  full_hyperopt);
+  } else {
+    feasibility_gp_.reset();
+    feasibility_cache_ = {};
+  }
+
+  if (!real_y.empty()) {
+    incumbent_log_ = *std::min_element(real_y.begin(), real_y.end());
+  }
+}
+
+void SurrogateModel::fit_or_append(
+    std::unique_ptr<gp::GaussianProcess>& model, TrainCache& cache,
+    const std::vector<math::Vec>& xs, const std::vector<double>& ys,
+    bool full_hyperopt) {
+  if (xs.size() < 2) {
+    model.reset();
+    cache = {};
+    return;
+  }
+  // Incremental path: unchanged hyperparameters (not a hyperopt round) and
+  // the new training set is the old one plus exactly one appended row.
+  // Encodings are deterministic functions of the configs, so exact
+  // double-equality is the right prefix test.
+  const bool appends_one =
+      model && model->is_fitted() && !full_hyperopt &&
+      xs.size() == cache.xs.size() + 1 &&
+      std::equal(cache.xs.begin(), cache.xs.end(), xs.begin()) &&
+      std::equal(cache.ys.begin(), cache.ys.end(), ys.begin());
+  if (appends_one) {
+    model->append_observation(xs.back(), ys.back());
+  } else {
+    const std::size_t dim = space_->encoded_dimension();
     math::Matrix x(xs.size(), dim);
     for (std::size_t i = 0; i < xs.size(); ++i) {
       std::copy(xs[i].begin(), xs[i].end(), x.row(i).begin());
@@ -74,27 +110,9 @@ void SurrogateModel::update(std::span<const Trial> trials) {
     } else {
       model->refit(x, ys);
     }
-  };
-
-  fit_one(objective_gp_, ok_x, ok_y);
-  fit_one(cost_gp_, cost_x, cost_y);
-
-  // Feasibility model only earns its keep once failures exist; a constant
-  // label vector would just burn a GP fit.
-  const double failures =
-      std::count(feas_y.begin(), feas_y.end(), 1.0);
-  feasible_fraction_ =
-      feas_y.empty() ? 1.0
-                     : 1.0 - failures / static_cast<double>(feas_y.size());
-  if (failures > 0 && feas_y.size() >= 3) {
-    fit_one(feasibility_gp_, all_x, feas_y);
-  } else {
-    feasibility_gp_.reset();
   }
-
-  if (!real_y.empty()) {
-    incumbent_log_ = *std::min_element(real_y.begin(), real_y.end());
-  }
+  cache.xs = xs;
+  cache.ys = ys;
 }
 
 SurrogateScore SurrogateModel::score(const conf::Config& config) const {

@@ -27,6 +27,9 @@ namespace autodml::core {
 struct SurrogateOptions {
   /// Refit GP hyperparameters every k updates (1 = always). Factorization
   /// with existing hyperparameters happens on every update regardless.
+  /// Between hyperopt rounds, an update that appends exactly one trial to a
+  /// GP's training set takes the O(n^2) rank-1 path (incremental Cholesky
+  /// append) instead of the O(n^3) refactorization.
   int hyperopt_every = 1;
   gp::GpOptions gp;
 };
@@ -62,6 +65,17 @@ class SurrogateModel {
   const conf::ConfigSpace& space() const { return *space_; }
 
  private:
+  /// Training set a GP was last fitted on; lets update() detect the
+  /// append-one-trial case and take the O(n^2) incremental path.
+  struct TrainCache {
+    std::vector<math::Vec> xs;
+    std::vector<double> ys;
+  };
+
+  void fit_or_append(std::unique_ptr<gp::GaussianProcess>& model,
+                     TrainCache& cache, const std::vector<math::Vec>& xs,
+                     const std::vector<double>& ys, bool full_hyperopt);
+
   const conf::ConfigSpace* space_;
   SurrogateOptions options_;
   util::Rng rng_;
@@ -70,6 +84,9 @@ class SurrogateModel {
   std::unique_ptr<gp::GaussianProcess> objective_gp_;
   std::unique_ptr<gp::GaussianProcess> feasibility_gp_;
   std::unique_ptr<gp::GaussianProcess> cost_gp_;
+  TrainCache objective_cache_;
+  TrainCache feasibility_cache_;
+  TrainCache cost_cache_;
   double incumbent_log_ = 0.0;
   double feasible_fraction_ = 1.0;
 };

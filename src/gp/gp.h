@@ -50,6 +50,17 @@ class GaussianProcess {
   /// between full re-optimizations).
   void refit(const math::Matrix& x, std::span<const double> y);
 
+  /// Incremental update: append one observation, extending the existing
+  /// Cholesky factor in O(n^2) instead of refactorizing (O(n^3)).
+  /// Hyperparameters are kept; the resulting posterior is identical to
+  /// refit() on the extended data. Requires is_fitted(). Returns true when
+  /// the O(n^2) fast path was taken; false when the extended Gram matrix was
+  /// not PD at the stored jitter and a full refactorization ran instead
+  /// (the model is consistent either way). In AUTODML_CHECKED builds the
+  /// incremental factor is cross-verified against a from-scratch
+  /// factorization of the same jittered Gram matrix.
+  bool append_observation(std::span<const double> x, double y);
+
   bool is_fitted() const { return factor_.has_value(); }
   std::size_t num_points() const { return targets_raw_.size(); }
 
@@ -63,14 +74,19 @@ class GaussianProcess {
 
   const Kernel& kernel() const { return *kernel_; }
 
- private:
   struct LmlResult {
     double value;
     math::Vec grad;  // w.r.t. [kernel log-hypers..., log noise]
   };
 
-  /// Negative LML and gradient at the given packed log-hyperparameters.
+  /// Negative LML and analytic gradient at the given packed
+  /// log-hyperparameters [kernel..., log noise], on the current training
+  /// data. Public as a diagnostic/testing surface (gradient checks); the
+  /// result is memoized per (theta, data) so the hyperopt loop's repeated
+  /// evaluations at boundary-projected iterates are free.
   LmlResult negative_lml(std::span<const double> packed) const;
+
+ private:
   void factorize();
   math::Vec packed_hypers() const;
   void apply_packed(std::span<const double> packed);
@@ -87,6 +103,19 @@ class GaussianProcess {
 
   std::optional<math::CholeskyFactor> factor_;
   math::Vec alpha_;  // (K + sigma^2 I)^{-1} y_std
+
+  /// Bumped whenever the training set changes; keys the negative_lml memo.
+  std::uint64_t data_version_ = 0;
+  struct LmlCache {
+    math::Vec theta;
+    std::uint64_t data_version = 0;
+    LmlResult result;
+  };
+  /// Last negative_lml evaluation. The hyperopt loop evaluates the same
+  /// theta repeatedly (value+grad pairs, boundary-projected iterates, the
+  /// post-Adam re-evaluation), all sharing the same X — one memo slot
+  /// eliminates the duplicated Gram build + factorization.
+  mutable std::optional<LmlCache> lml_cache_;
 };
 
 }  // namespace autodml::gp

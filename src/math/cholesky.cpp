@@ -43,6 +43,41 @@ double CholeskyFactor::log_det() const {
   return 2.0 * acc;
 }
 
+bool CholeskyFactor::append_row(std::span<const double> b, double c) {
+  const std::size_t n = lower.rows();
+  if (b.size() != n) throw std::invalid_argument("append_row: size mismatch");
+  check_finite(b, "cholesky append column");
+  // New off-diagonal row: L_new l = b, computed in the same order as the
+  // from-scratch factorization so the extended factor matches it exactly.
+  const Vec row = solve_lower(b);
+  double diag = c + jitter;
+  for (double v : row) diag -= v * v;
+  if (diag <= 0.0 || !std::isfinite(diag)) return false;
+
+  Matrix ext(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) ext(i, j) = lower(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) ext(n, j) = row[j];
+  ext(n, n) = std::sqrt(diag);
+  lower = std::move(ext);
+  return true;
+}
+
+Matrix CholeskyFactor::lower_inverse() const {
+  const std::size_t n = lower.rows();
+  Matrix inv(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    inv(j, j) = 1.0 / lower(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = j; k < i; ++k) acc += lower(i, k) * inv(k, j);
+      inv(i, j) = -acc / lower(i, i);
+    }
+  }
+  return inv;
+}
+
 namespace {
 
 // Shared factorization core. On failure, `bad_pivot`/`bad_diag` (when

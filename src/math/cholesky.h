@@ -23,6 +23,22 @@ struct CholeskyFactor {
   Vec solve(std::span<const double> b) const;
   /// log det(L L^T) = 2 * sum log L_ii.
   double log_det() const;
+
+  /// Rank-1 append: extend the factor of an n x n matrix A to the factor of
+  /// [[A, b], [b^T, c]] in O(n^2) — one forward solve for the new row plus a
+  /// scalar pivot — instead of the O(n^3) refactorization. The stored jitter
+  /// is added to `c`, so the result is identical (bit-for-bit: the update
+  /// performs the same operations in the same order) to refactorizing the
+  /// jittered (n+1) x (n+1) matrix from scratch. Returns false and leaves
+  /// the factor unchanged when the new pivot is non-positive or non-finite,
+  /// i.e. the extended matrix is not PD at this jitter; callers fall back to
+  /// a full factorization.
+  [[nodiscard]] bool append_row(std::span<const double> b, double c);
+
+  /// Explicit inverse of the lower-triangular factor (L^{-1}, lower
+  /// triangular). O(n^3/6) — used to assemble (L L^T)^{-1} as
+  /// L^{-T} L^{-1} far cheaper than n unit-vector solves.
+  Matrix lower_inverse() const;
 };
 
 /// Plain factorization; returns nullopt if A is not positive definite.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -118,34 +119,62 @@ OptResult nelder_mead(const Objective& f, std::span<const double> x0,
 OptResult adam(const GradObjective& f, std::span<const double> x0,
                const AdamOptions& options) {
   const std::size_t n = x0.size();
+  const bool bounded =
+      !options.lower_bounds.empty() || !options.upper_bounds.empty();
+  if (bounded && (options.lower_bounds.size() != n ||
+                  options.upper_bounds.size() != n)) {
+    throw std::invalid_argument("adam: bounds/start size mismatch");
+  }
+  const auto project = [&](Vec& p) {
+    if (!bounded) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = std::clamp(p[i], options.lower_bounds[i], options.upper_bounds[i]);
+    }
+  };
+
   Vec x(x0.begin(), x0.end());
+  project(x);
   Vec m(n, 0.0), v(n, 0.0), grad(n, 0.0);
   OptResult result;
   result.x = x;
   result.value = f(x, grad);
 
   Vec best_x = x;
-  double best_f = result.value;
+  double best_f = std::isfinite(result.value)
+                      ? result.value
+                      : std::numeric_limits<double>::infinity();
+  // Whether the evaluation that produced `grad` returned a finite value; a
+  // non-finite objective makes its gradient meaningless, and feeding it into
+  // the moment estimates would poison m/v with NaN for every later step.
+  bool grad_valid = std::isfinite(result.value);
 
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
-    double grad_inf = 0.0;
-    for (double g : grad) grad_inf = std::max(grad_inf, std::abs(g));
-    if (grad_inf < options.grad_tolerance) {
-      result.converged = true;
-      break;
+    if (grad_valid) {
+      double grad_inf = 0.0;
+      for (double g : grad) grad_inf = std::max(grad_inf, std::abs(g));
+      if (grad_inf < options.grad_tolerance) {
+        result.converged = true;
+        break;
+      }
     }
     const double t = static_cast<double>(iter + 1);
     for (std::size_t i = 0; i < n; ++i) {
-      m[i] = options.beta1 * m[i] + (1.0 - options.beta1) * grad[i];
-      v[i] = options.beta2 * v[i] + (1.0 - options.beta2) * grad[i] * grad[i];
+      // On an invalid evaluation the gradient contribution is zero: the
+      // moments decay and the iterate coasts on momentum out of the bad
+      // region instead of freezing or going NaN.
+      const double g = grad_valid ? grad[i] : 0.0;
+      m[i] = options.beta1 * m[i] + (1.0 - options.beta1) * g;
+      v[i] = options.beta2 * v[i] + (1.0 - options.beta2) * g * g;
       const double m_hat = m[i] / (1.0 - std::pow(options.beta1, t));
       const double v_hat = v[i] / (1.0 - std::pow(options.beta2, t));
       x[i] -= options.learning_rate * m_hat /
               (std::sqrt(v_hat) + options.epsilon);
     }
+    project(x);
     const double fx = f(x, grad);
-    if (std::isfinite(fx) && fx < best_f) {
+    grad_valid = std::isfinite(fx);
+    if (grad_valid && fx < best_f) {
       best_f = fx;
       best_x = x;
     }

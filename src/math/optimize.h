@@ -45,9 +45,19 @@ struct AdamOptions {
   double beta2 = 0.999;
   double epsilon = 1e-8;
   double grad_tolerance = 1e-6;  // stop when ||grad||_inf below this
+  /// Optional box constraints. When non-empty (each sized like x0), the
+  /// start point and every Adam iterate are projected onto
+  /// [lower_bounds, upper_bounds], so the objective and its gradient are
+  /// only ever evaluated at feasible points — an unprojected iterate
+  /// drifting out of bounds would keep receiving the stale boundary
+  /// gradient while its distance from the feasible box grows.
+  Vec lower_bounds;
+  Vec upper_bounds;
 };
 
-/// Minimize f starting from x0 (Adam on the provided analytic gradient).
+/// Minimize f starting from x0 (projected Adam on the provided analytic
+/// gradient). Non-finite objective evaluations contribute a zero gradient
+/// to the moment estimates (momentum decays but is never NaN-poisoned).
 OptResult adam(const GradObjective& f, std::span<const double> x0,
                const AdamOptions& options = {});
 

@@ -1,10 +1,12 @@
 // Fixed-size thread pool.
 //
 // Used by benches to replicate stochastic experiments across seeds in
-// parallel; library code itself is single-threaded and deterministic
-// (baselines::parallel_bo in particular *simulates* q-way parallelism
-// with constant-liar batches and wall-clock accounting — it never
-// spawns threads).
+// parallel, and by the BO inner loop to score acquisition candidates
+// concurrently (core::propose_candidate writes into per-index slots and
+// reduces with a deterministic lowest-index argmax, so results are
+// bit-identical at any thread count). baselines::parallel_bo still
+// *simulates* q-way evaluation parallelism with constant-liar batches and
+// wall-clock accounting — evaluations never run on threads.
 //
 // Shutdown contract: the destructor marks the pool stopped, wakes every
 // worker, and joins. Workers keep pulling until the queue is drained, so

@@ -317,6 +317,86 @@ TEST(Adam, StopsOnSmallGradient) {
   EXPECT_EQ(r.iterations, 0);
 }
 
+TEST(Adam, ProjectsIterateOntoBounds) {
+  // Unconstrained minimum at x=4, box [0,2]: the projected iterate must
+  // converge to the boundary. Without projection the raw iterate would run
+  // past 2 and keep collecting the stale boundary gradient while the
+  // returned point stays clamped — the bug this option exists to fix.
+  int out_of_bounds_evals = 0;
+  const auto f = [&](std::span<const double> x, std::span<double> g) {
+    if (x[0] < 0.0 || x[0] > 2.0) ++out_of_bounds_evals;
+    g[0] = 2.0 * (x[0] - 4.0);
+    return (x[0] - 4.0) * (x[0] - 4.0);
+  };
+  AdamOptions opts;
+  opts.max_iterations = 500;
+  opts.learning_rate = 0.1;
+  opts.lower_bounds = Vec{0.0};
+  opts.upper_bounds = Vec{2.0};
+  const OptResult r = adam(f, Vec{1.0}, opts);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-3);
+  EXPECT_EQ(out_of_bounds_evals, 0);  // f only ever sees feasible points
+}
+
+TEST(Adam, ProjectsStartPointAndValidatesBoundSizes) {
+  const auto f = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  AdamOptions opts;
+  opts.lower_bounds = Vec{-1.0};
+  opts.upper_bounds = Vec{1.0};
+  opts.max_iterations = 0;
+  const OptResult r = adam(f, Vec{50.0}, opts);  // start outside the box
+  EXPECT_DOUBLE_EQ(r.x[0], 1.0);
+
+  AdamOptions bad;
+  bad.lower_bounds = Vec{0.0, 0.0};  // wrong size
+  bad.upper_bounds = Vec{1.0, 1.0};
+  EXPECT_THROW(adam(f, Vec{0.5}, bad), std::invalid_argument);
+}
+
+TEST(Adam, NonFiniteEvaluationsDoNotPoisonMoments) {
+  // Every third evaluation blows up (NaN value, garbage gradient). The old
+  // implementation fed that gradient into the m/v moment estimates, turning
+  // them — and every subsequent step — into NaN. Fixed: non-finite evals
+  // contribute zero gradient, momentum decays, and the search still lands
+  // near the minimum.
+  int calls = 0;
+  const auto f = [&](std::span<const double> x, std::span<double> g) {
+    ++calls;
+    if (calls % 3 == 0) {
+      g[0] = std::numeric_limits<double>::quiet_NaN();
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    g[0] = 2.0 * (x[0] - 1.0);
+    return (x[0] - 1.0) * (x[0] - 1.0);
+  };
+  AdamOptions opts;
+  opts.max_iterations = 1000;
+  opts.learning_rate = 0.05;
+  const OptResult r = adam(f, Vec{-2.0}, opts);
+  ASSERT_TRUE(std::isfinite(r.value));
+  ASSERT_TRUE(std::isfinite(r.x[0]));
+  EXPECT_NEAR(r.x[0], 1.0, 0.1);
+}
+
+TEST(Adam, NonFiniteInitialValueReportsInfinityNotNan) {
+  // When every evaluation is non-finite the run is a washout, but it must
+  // report +inf — which loses cleanly against any finite restart — rather
+  // than NaN, which the old best-seen comparison propagated to the caller.
+  const auto f = [](std::span<const double>, std::span<double> g) {
+    g[0] = std::numeric_limits<double>::quiet_NaN();
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  AdamOptions opts;
+  opts.max_iterations = 20;
+  const OptResult r = adam(f, Vec{0.5}, opts);
+  EXPECT_FALSE(std::isnan(r.value));
+  EXPECT_EQ(r.value, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isfinite(r.x[0]));  // iterate never NaN-poisoned
+}
+
 // ---- golden section ------------------------------------------------------------------
 
 TEST(GoldenSection, FindsMinimum) {
