@@ -13,17 +13,29 @@
 //              [--deadline-hours=H] [--acquisition=ei|logei|ucb|pi|eipercost]
 //              [--no-early-term] [--session=FILE] [--resume=FILE]
 //              [--journal=FILE] [--faults=off|light|heavy] [--retries=N]
+//              [--demo] [--trace=FILE] [--metrics=FILE]
 //                                  run the tuner; optionally persist/resume.
 //                                  --journal appends every trial to a
 //                                  crash-safe journal: rerunning the same
 //                                  command after a kill resumes the session.
 //                                  --faults injects transient faults and
 //                                  --retries supervises evaluations with
-//                                  retry + backoff
+//                                  retry + backoff.
+//                                  --demo runs the canonical demo session
+//                                  (logreg-ads, 30 evaluations, seed 1 —
+//                                  the golden-run test pins its results).
+//                                  --trace records Chrome trace-event JSON
+//                                  (load in Perfetto) and prints a
+//                                  per-phase time breakdown; --metrics
+//                                  dumps the metrics snapshot (JSON, or
+//                                  CSV when FILE ends in .csv). Both are
+//                                  observation-only: results are
+//                                  bit-identical with them on or off.
 //   importance --workload=W [--evals=N]
 //                                  tune briefly, print both sensitivity views
 //
 // Exit code 0 on success, 1 on user error, 2 on "no feasible config found".
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -32,8 +44,11 @@
 #include "core/bo_tuner.h"
 #include "core/sensitivity.h"
 #include "core/session_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/arg_parse.h"
 #include "util/csv.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 #include "workloads/eval_supervisor.h"
 #include "workloads/objective_adapter.h"
@@ -194,7 +209,43 @@ int cmd_evaluate(const wl::Workload& workload, const util::ArgParser& args) {
   return 0;
 }
 
+/// Per-phase wall-clock breakdown from the tracer's closed spans, sorted
+/// by total time. Printed after a traced tune so a user sees where the
+/// run's time went without opening Perfetto (EXPERIMENTS.md R-O12).
+void print_phase_breakdown(obs::Tracer& tracer) {
+  const auto totals = tracer.span_totals();
+  double tune_total = 0.0;
+  if (const auto it = totals.find("tuner.tune"); it != totals.end()) {
+    tune_total = it->second.total_seconds;
+  }
+  std::vector<std::pair<std::string, obs::Tracer::SpanStat>> rows(
+      totals.begin(), totals.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+  std::vector<std::vector<std::string>> table;
+  for (const auto& [name, stat] : rows) {
+    std::string share = "-";
+    if (tune_total > 0.0) {
+      share = util::fmt(100.0 * stat.total_seconds / tune_total, 3) + "%";
+    }
+    table.push_back({name, std::to_string(stat.count),
+                     util::fmt(stat.total_seconds, 4) + " s", share});
+  }
+  std::fputs(
+      util::render_table({"span", "count", "total", "of tuner.tune"}, table)
+          .c_str(),
+      stdout);
+}
+
 int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics", "");
+  if (!trace_path.empty()) obs::Tracer::instance().start();
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::instance().reset();
+    obs::MetricsRegistry::instance().enable();
+  }
   wl::EvaluatorOptions eval_options;
   const std::string objective_name = args.get("objective", "time");
   if (objective_name == "cost") {
@@ -253,6 +304,24 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
 
   core::BoTuner tuner(*objective, options);
   const core::TuningResult result = tuner.tune();
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.stop();
+    util::write_file_atomic(trace_path, tracer.export_chrome_json());
+    std::printf("trace written to %s (%zu events; open in Perfetto)\n",
+                trace_path.c_str(), tracer.event_count());
+    print_phase_breakdown(tracer);
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+    registry.disable();
+    const bool csv = metrics_path.size() >= 4 &&
+                     metrics_path.substr(metrics_path.size() - 4) == ".csv";
+    util::write_file_atomic(
+        metrics_path, csv ? registry.snapshot_csv()
+                          : util::dump_json(registry.snapshot_json(), 1));
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
   if (tuner.replayed_trials() > 0) {
     std::printf("journal %s: replayed %zu trials without re-evaluating\n",
                 options.journal_path.c_str(), tuner.replayed_trials());
@@ -342,8 +411,12 @@ int main(int argc, char** argv) {
                    "importance> [--flags]\n");
       return 1;
     }
+    // --demo pins the canonical demo session (the one the golden-run test
+    // locks down): logreg-ads with the default 30 evaluations and seed 1.
     const wl::Workload& workload =
-        wl::workload_by_name(args.get("workload", "logreg-ads"));
+        args.get_bool("demo", false)
+            ? wl::workload_by_name("logreg-ads")
+            : wl::workload_by_name(args.get("workload", "logreg-ads"));
     if (command == "space") {
       cmd_space(workload);
       return 0;

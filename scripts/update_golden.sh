@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate the golden-run snapshot (tests/golden/demo_run.json).
+#
+# Run this after an intentional change to proposal order, simulator
+# physics, surrogate numerics, or metric instrumentation, then review the
+# golden diff like any other code change:
+#
+#   scripts/update_golden.sh [build-dir]
+#
+# The golden file pins the canonical demo session (logreg-ads, 30
+# evaluations, seed 1) — the same session `autodml_cli tune --demo` runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_run_test -j >/dev/null
+
+AUTODML_UPDATE_GOLDEN=1 "$BUILD_DIR/tests/golden_run_test" \
+  --gtest_filter='GoldenRun.DemoSessionMatchesCheckedInSnapshot'
+
+echo
+echo "golden diff:"
+git --no-pager diff --stat tests/golden/ || true
+echo
+echo "Re-run the suite to confirm: ctest --test-dir $BUILD_DIR -R GoldenRun"

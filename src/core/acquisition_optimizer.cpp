@@ -5,6 +5,8 @@
 #include <future>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace autodml::core {
@@ -25,6 +27,7 @@ std::vector<double> score_candidates(const SurrogateModel& surrogate,
                                      AcquisitionKind kind,
                                      std::span<const conf::Config> candidates,
                                      const AcqOptimizerOptions& options) {
+  ADML_SPAN("acq.score");
   std::vector<double> scores(candidates.size());
   const auto score_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -55,6 +58,9 @@ std::vector<double> score_candidates(const SurrogateModel& surrogate,
     const std::size_t end = std::min(begin + per_chunk, candidates.size());
     futures.push_back(
         options.pool->submit([&score_range, begin, end] {
+          // One span per chunk, emitted from the worker thread: the trace
+          // shows how candidate scoring fans out across the pool.
+          ADML_SPAN("acq.score_chunk");
           score_range(begin, end);
         }));
   }
@@ -68,6 +74,7 @@ std::optional<conf::Config> propose_candidate(
     const SurrogateModel& surrogate, AcquisitionKind kind,
     std::span<const Trial> history, util::Rng& rng,
     const AcqOptimizerOptions& options) {
+  ADML_SPAN("acq.propose");
   const conf::ConfigSpace& space = surrogate.space();
   const std::set<math::Vec> seen = encode_history(space, history);
 
@@ -106,6 +113,10 @@ std::optional<conf::Config> propose_candidate(
     if (seen.count(x) || !pooled.insert(std::move(x)).second) continue;
     unique.push_back(std::move(candidate));
   }
+  ADML_COUNT("acq.candidates_generated",
+             static_cast<std::int64_t>(candidates.size()));
+  ADML_COUNT("acq.candidates_scored",
+             static_cast<std::int64_t>(unique.size()));
   const std::vector<double> scores =
       score_candidates(surrogate, kind, unique, options);
 

@@ -5,6 +5,8 @@
 
 #include "analysis/space_lint.h"
 #include "config/sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fs.h"
 #include "util/log.h"
 
@@ -112,8 +114,18 @@ Trial BoTuner::evaluate(const conf::Config& config, bool allow_early_term,
   return trial;
 }
 
+namespace {
+
+/// Simulated per-trial evaluation cost in hours; deterministic, so it is
+/// safe for the golden-run snapshot.
+constexpr double kSpentHoursBuckets[] = {0.5, 1.0, 2.0, 4.0, 8.0,
+                                         16.0, 32.0, 64.0, 128.0};
+
+}  // namespace
+
 Trial BoTuner::next_trial(const conf::Config& config, bool allow_early_term,
                           double incumbent) {
+  ADML_SPAN("tuner.evaluate");
   if (replay_cursor_ < replay_.size()) {
     Trial trial = replay_[replay_cursor_];
     // The journaled config went through a JSON round trip; the regenerated
@@ -136,14 +148,22 @@ Trial BoTuner::next_trial(const conf::Config& config, bool allow_early_term,
     ++replay_cursor_;
     trial.config = config;
     objective_->notify_replayed(trial);
+    ADML_COUNT("tuner.replayed_trials", 1);
     return trial;
   }
   Trial trial = evaluate(config, allow_early_term, incumbent);
-  if (journal_) journal_->append(trial);
+  ADML_HISTOGRAM("tuner.trial_spent_hours", kSpentHoursBuckets,
+                 trial.outcome.spent_seconds / 3600.0);
+  if (trial.outcome.aborted) ADML_COUNT("tuner.early_terminated", 1);
+  if (journal_) {
+    ADML_SPAN("tuner.journal_append");
+    journal_->append(trial);
+  }
   return trial;
 }
 
 TuningResult BoTuner::tune() {
+  ADML_SPAN("tuner.tune");
   TuningResult result;
   const auto budget_left = [&] {
     return static_cast<int>(result.trials.size()) < options_.max_evaluations &&
@@ -151,24 +171,30 @@ TuningResult BoTuner::tune() {
   };
 
   // Phase 1: initial design, run to completion (uncensored anchors).
-  for (const conf::Config& config : initial_configs()) {
-    if (!budget_left()) break;
-    Trial trial = next_trial(config, /*allow_early_term=*/false,
-                             result.best_objective);
-    history_.push_back(trial);
-    record_trial(result, std::move(trial));
+  {
+    ADML_SPAN("tuner.initial_design");
+    for (const conf::Config& config : initial_configs()) {
+      if (!budget_left()) break;
+      Trial trial = next_trial(config, /*allow_early_term=*/false,
+                               result.best_objective);
+      history_.push_back(trial);
+      record_trial(result, std::move(trial));
+    }
   }
 
   // Phase 2: model-guided search.
   while (budget_left()) {
+    ADML_SPAN("tuner.iteration");
     surrogate_.update(history_);
     std::optional<conf::Config> candidate;
     const bool explore = rng_.bernoulli(options_.random_interleave_prob);
     if (surrogate_.ready() && !explore) {
+      ADML_SPAN("tuner.propose");
       candidate = propose_candidate(surrogate_, options_.acquisition,
                                     history_, rng_, options_.acq_optimizer);
     }
     if (!candidate) {
+      ADML_COUNT("tuner.random_proposals", 1);
       candidate = objective_->space().sample_uniform(rng_);
     }
     Trial trial = next_trial(*candidate, /*allow_early_term=*/true,
@@ -182,6 +208,19 @@ TuningResult BoTuner::tune() {
 
   // Leave the surrogate fitted on everything seen (sensitivity analysis).
   surrogate_.update(history_);
+  ADML_COUNT("tuner.trials", static_cast<std::int64_t>(result.trials.size()));
+  if (result.found_feasible())
+    ADML_GAUGE_SET("tuner.best_objective", result.best_objective);
+  ADML_GAUGE_ADD("tuner.simulated_spent_seconds", result.total_spent_seconds);
+  if (acq_pool_) {
+    const util::ThreadPool::Stats stats = acq_pool_->stats();
+    ADML_GAUGE_SET("threadpool.acq.submitted",
+                   static_cast<double>(stats.submitted));
+    ADML_GAUGE_SET("threadpool.acq.completed",
+                   static_cast<double>(stats.completed));
+    ADML_GAUGE_MAX("threadpool.acq.peak_queue_depth",
+                   static_cast<double>(stats.peak_queue_depth));
+  }
   return result;
 }
 

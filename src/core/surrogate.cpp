@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace autodml::core {
 
 namespace {
@@ -20,6 +23,8 @@ SurrogateModel::SurrogateModel(const conf::ConfigSpace& space,
     : space_(&space), options_(options), rng_(seed) {}
 
 void SurrogateModel::update(std::span<const Trial> trials) {
+  ADML_SPAN("surrogate.update");
+  ADML_COUNT("surrogate.updates", 1);
   std::vector<math::Vec> ok_x, all_x, cost_x;
   std::vector<double> ok_y, feas_y, cost_y;
   std::vector<double> real_y;  // completed runs only: defines the incumbent

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace autodml::gp {
@@ -57,8 +59,10 @@ GaussianProcess::LmlResult GaussianProcess::negative_lml(
   if (lml_cache_ && lml_cache_->data_version == data_version_ &&
       lml_cache_->theta.size() == packed.size() &&
       std::equal(packed.begin(), packed.end(), lml_cache_->theta.begin())) {
+    ADML_COUNT("gp.lml_cache_hits", 1);
     return lml_cache_->result;
   }
+  ADML_COUNT("gp.lml_evals", 1);
 
   // Evaluate on a scratch clone so the public state stays untouched.
   auto k = kernel_->clone();
@@ -147,6 +151,7 @@ void GaussianProcess::factorize() {
 }
 
 void GaussianProcess::refit(const math::Matrix& x, std::span<const double> y) {
+  ADML_SPAN("gp.refit");
   if (x.rows() != y.size())
     throw std::invalid_argument("GaussianProcess: X/y size mismatch");
   if (x.rows() == 0)
@@ -175,6 +180,7 @@ void GaussianProcess::refit(const math::Matrix& x, std::span<const double> y) {
 }
 
 bool GaussianProcess::append_observation(std::span<const double> x, double y) {
+  ADML_SPAN("gp.append");
   if (!factor_)
     throw std::logic_error("GaussianProcess: append_observation before fit");
   if (x.size() != kernel_->input_dim())
@@ -218,9 +224,11 @@ bool GaussianProcess::append_observation(std::span<const double> x, double y) {
   if (!factor_->append_row(col, diag)) {
     // Extended matrix not PD at the stored jitter (new point nearly
     // duplicates an old one): pay the full jitter-adaptive refactorization.
+    ADML_COUNT("gp.append_refactorized", 1);
     factorize();
     return false;
   }
+  ADML_COUNT("gp.append_fast", 1);
 #if AUTODML_CHECKED_ENABLED
   // Cross-verify the incremental factor against a from-scratch
   // factorization of the same jittered Gram matrix (O(n^3), checked builds
@@ -251,8 +259,11 @@ bool GaussianProcess::append_observation(std::span<const double> x, double y) {
 
 void GaussianProcess::fit(const math::Matrix& x, std::span<const double> y,
                           util::Rng& rng) {
+  ADML_SPAN("gp.fit");
   refit(x, y);
   if (!options_.optimize_hyperparams || y.size() < 3) return;
+  ADML_SPAN("gp.hyperopt");
+  ADML_COUNT("gp.hyperopt_rounds", 1);
 
   auto [kernel_lo, kernel_hi] = kernel_->hyper_bounds();
   math::Vec lo = kernel_lo, hi = kernel_hi;

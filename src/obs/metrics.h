@@ -1,0 +1,176 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms, snapshotted to JSON or CSV.
+//
+// The registry complements the tracer (obs/trace.h): spans answer "where
+// did the wall clock go", metrics answer "how often / how much". All
+// instruments are lock-free after creation (relaxed atomics; name lookup
+// takes the registry mutex only when the registry is enabled), and the
+// whole layer is a single relaxed atomic load per site when disabled.
+//
+// Determinism contract: every metric recorded by library instrumentation
+// sites counts *simulated* or *algorithmic* quantities (trials, GP
+// appends, simulated seconds, fault events) — never the wall clock — so a
+// fixed-seed run produces a bit-identical snapshot in serial mode. The
+// golden-run regression test (tests/golden_run_test.cpp) pins this.
+// Thread-pool gauges are the one scheduling-dependent exception; they are
+// only published from multi-threaded runs, which the golden run is not.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace autodml::obs {
+
+/// Monotonically increasing integer count.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written / accumulated / peak double value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void max_of(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Plain-data histogram state; what snapshot() returns and merge() folds.
+struct HistogramSnapshot {
+  /// Inclusive upper bounds of the finite buckets; bucket i counts values
+  /// v <= bounds[i] (and > bounds[i-1]). One overflow bucket follows.
+  std::vector<double> bounds;
+  std::vector<std::int64_t> counts;  // bounds.size() + 1 entries
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// Merge two snapshots with identical bounds (throws otherwise). Addition
+/// is associative and commutative on counts; `sum` is a double, so merging
+/// per-thread histograms reproduces the serial sum exactly only when the
+/// recorded values sum without rounding (e.g. integers) — the property the
+/// stress test checks.
+HistogramSnapshot merge(const HistogramSnapshot& a,
+                        const HistogramSnapshot& b);
+
+/// Fixed-bucket histogram, safe for concurrent record().
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; values above the last bound
+  /// land in the overflow bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry (leaky singleton, same rationale as Tracer).
+  static MetricsRegistry& instance();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Zero every instrument (registrations survive).
+  void reset();
+
+  /// Get-or-create by name. References stay valid for the registry's
+  /// lifetime (instruments are never deallocated).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Re-requesting an existing histogram with different bounds throws.
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  util::JsonValue snapshot_json() const;
+  /// Flat "kind,name,value" lines; histograms expand to .count/.sum/.min/
+  /// .max plus one le_<bound> row per bucket.
+  std::string snapshot_csv() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace autodml::obs
+
+#ifdef AUTODML_NO_OBS
+#define ADML_COUNT(name, delta) ((void)0)
+#define ADML_GAUGE_SET(name, v) ((void)0)
+#define ADML_GAUGE_ADD(name, v) ((void)0)
+#define ADML_GAUGE_MAX(name, v) ((void)0)
+#define ADML_HISTOGRAM(name, bounds, v) ((void)0)
+#else
+#define ADML_METRICS_IF_ENABLED(expr)                                \
+  do {                                                               \
+    ::autodml::obs::MetricsRegistry& adml_reg =                      \
+        ::autodml::obs::MetricsRegistry::instance();                 \
+    if (adml_reg.enabled()) {                                        \
+      expr;                                                          \
+    }                                                                \
+  } while (0)
+#define ADML_COUNT(name, delta) \
+  ADML_METRICS_IF_ENABLED(adml_reg.counter(name).add(delta))
+#define ADML_GAUGE_SET(name, v) \
+  ADML_METRICS_IF_ENABLED(adml_reg.gauge(name).set(v))
+#define ADML_GAUGE_ADD(name, v) \
+  ADML_METRICS_IF_ENABLED(adml_reg.gauge(name).add(v))
+#define ADML_GAUGE_MAX(name, v) \
+  ADML_METRICS_IF_ENABLED(adml_reg.gauge(name).max_of(v))
+#define ADML_HISTOGRAM(name, bounds, v) \
+  ADML_METRICS_IF_ENABLED(adml_reg.histogram(name, bounds).record(v))
+#endif

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace autodml::obs {
+
+namespace {
+
+/// Fixed process epoch so timestamps from different threads share a base.
+std::int64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  // Leaky: worker threads may still emit 'E' events during static teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    std::scoped_lock lock(registry_mu_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+    cached = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return *cached;
+}
+
+void Tracer::start() {
+  clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::scoped_lock lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    std::scoped_lock buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+void Tracer::record(const char* name, char ph) {
+  ThreadBuffer& buffer = local_buffer();
+  std::scoped_lock lock(buffer.mu);
+  // Timestamp under the buffer lock, after any queued export finished:
+  // per-thread order equals program order, so timestamps are monotonic
+  // within each tid.
+  buffer.events.push_back(TraceEvent{name, ph, now_ns()});
+}
+
+std::string Tracer::export_chrome_json() {
+  util::JsonArray events;
+  std::scoped_lock lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    std::scoped_lock buffer_lock(buffer->mu);
+    for (const TraceEvent& e : buffer->events) {
+      util::JsonObject obj;
+      obj.emplace("name", util::JsonValue(e.name));
+      obj.emplace("cat", util::JsonValue("autodml"));
+      obj.emplace("ph", util::JsonValue(std::string(1, e.ph)));
+      obj.emplace("ts", util::JsonValue(static_cast<double>(e.ts_ns) / 1e3));
+      obj.emplace("pid", util::JsonValue(1));
+      obj.emplace("tid", util::JsonValue(static_cast<double>(buffer->tid)));
+      if (e.ph == 'i') obj.emplace("s", util::JsonValue("t"));
+      events.push_back(util::JsonValue(std::move(obj)));
+    }
+  }
+  util::JsonObject doc;
+  doc.emplace("traceEvents", util::JsonValue(std::move(events)));
+  doc.emplace("displayTimeUnit", util::JsonValue("ms"));
+  return util::dump_json(util::JsonValue(std::move(doc)), 1);
+}
+
+std::map<std::string, Tracer::SpanStat> Tracer::span_totals() {
+  std::map<std::string, SpanStat> totals;
+  std::scoped_lock lock(registry_mu_);
+  for (auto& buffer : buffers_) {
+    std::scoped_lock buffer_lock(buffer->mu);
+    // Per-thread begin stack; RAII guarantees LIFO pairing within a thread.
+    std::vector<const TraceEvent*> stack;
+    for (const TraceEvent& e : buffer->events) {
+      if (e.ph == 'B') {
+        stack.push_back(&e);
+      } else if (e.ph == 'E') {
+        if (stack.empty())
+          throw std::logic_error("Tracer: unbalanced 'E' event for " +
+                                 std::string(e.name));
+        const TraceEvent* begin = stack.back();
+        stack.pop_back();
+        SpanStat& stat = totals[begin->name];
+        ++stat.count;
+        stat.total_seconds +=
+            static_cast<double>(e.ts_ns - begin->ts_ns) / 1e9;
+      }
+    }
+  }
+  return totals;
+}
+
+std::size_t Tracer::event_count() {
+  std::scoped_lock lock(registry_mu_);
+  std::size_t n = 0;
+  for (auto& buffer : buffers_) {
+    std::scoped_lock buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+}  // namespace autodml::obs

@@ -1,0 +1,133 @@
+// Low-overhead tracing: nested spans exported as Chrome trace-event JSON.
+//
+// Instrumentation sites open RAII spans via ADML_SPAN("name"); the tracer
+// records begin/end ("B"/"E") event pairs into per-thread buffers, each
+// guarded by its own mutex so the steady-state append never contends with
+// other threads. Buffers are flushed on demand by export_chrome_json(),
+// whose output loads directly in Perfetto / chrome://tracing.
+//
+// Cost contract:
+//   - Sink detached (the default): every site is one relaxed atomic load —
+//     no lock, no allocation, no clock read. The tuner's results are
+//     bit-identical with tracing on or off because instrumentation only
+//     *reads* the wall clock; nothing ever feeds back into computation or
+//     consumes tuner randomness.
+//   - Sink attached: one clock read plus an uncontended lock per event.
+//   - Building with -DAUTODML_NO_OBS=ON compiles every ADML_SPAN /
+//     ADML_TRACE_INSTANT / ADML_METRIC_* site to nothing, for measuring
+//     the instrumentation floor.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// events store the pointer, not a copy. Keep the taxonomy small and stable
+// — see DESIGN.md §6f for the canonical span names.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace autodml::obs {
+
+struct TraceEvent {
+  const char* name;       // static-lifetime string (see header comment)
+  char ph;                // 'B' begin, 'E' end, 'i' instant
+  std::int64_t ts_ns;     // steady-clock nanoseconds since process epoch
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer (leaky singleton: safe to touch from any thread
+  /// at any point of program teardown).
+  static Tracer& instance();
+
+  /// Discard any buffered events and begin collecting.
+  void start();
+  /// Stop collecting. Buffered events remain available for export.
+  void stop();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Drop all buffered events (thread buffers stay registered).
+  void clear();
+
+  /// Append one event to the calling thread's buffer. Unconditional: the
+  /// enabled() gate lives at the instrumentation site so that a span
+  /// opened while tracing was on can always close its 'E' event.
+  void record(const char* name, char ph);
+
+  /// Serialize everything buffered so far as a Chrome trace-event JSON
+  /// document ({"traceEvents": [...]}). Every event carries the
+  /// Perfetto-required fields: name, ph, ts (microseconds), pid, tid.
+  std::string export_chrome_json();
+
+  /// Aggregate of closed spans: exclusive of nothing (nested spans count
+  /// their children's time too), keyed by span name.
+  struct SpanStat {
+    std::uint64_t count = 0;
+    double total_seconds = 0.0;
+  };
+  std::map<std::string, SpanStat> span_totals();
+
+  /// Buffered event count across all threads (testing/diagnostics).
+  std::size_t event_count();
+
+ private:
+  struct ThreadBuffer {
+    std::uint32_t tid;
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::mutex registry_mu_;  // guards buffers_ growth
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Emits 'B' on construction when the tracer is collecting and
+/// the matching 'E' on destruction (even if tracing stopped in between, so
+/// per-thread begin/end pairs always balance).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    Tracer& tracer = Tracer::instance();
+    if (tracer.enabled()) {
+      name_ = name;
+      tracer.record(name, 'B');
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) Tracer::instance().record(name_, 'E');
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // non-null only while a 'B' is open
+};
+
+/// Point-in-time marker (e.g. a fault episode charged to a worker).
+inline void trace_instant(const char* name) {
+  Tracer& tracer = Tracer::instance();
+  if (tracer.enabled()) tracer.record(name, 'i');
+}
+
+}  // namespace autodml::obs
+
+#define ADML_OBS_CONCAT_INNER(a, b) a##b
+#define ADML_OBS_CONCAT(a, b) ADML_OBS_CONCAT_INNER(a, b)
+
+#ifdef AUTODML_NO_OBS
+#define ADML_SPAN(name) ((void)0)
+#define ADML_TRACE_INSTANT(name) ((void)0)
+#else
+#define ADML_SPAN(name) \
+  ::autodml::obs::ScopedSpan ADML_OBS_CONCAT(adml_span_, __LINE__)(name)
+#define ADML_TRACE_INSTANT(name) ::autodml::obs::trace_instant(name)
+#endif

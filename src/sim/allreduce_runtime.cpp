@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/flow_network.h"
 
@@ -88,6 +90,9 @@ class AllReduceSimulation {
           duration += down;
           fault_downtime_sum_ += down;
           ++fault_event_count_;
+          ADML_TRACE_INSTANT("sim.fault_episode");
+          ADML_COUNT("sim.fault_events", 1);
+          ADML_GAUGE_ADD("sim.fault_downtime_simulated_seconds", down);
         }
       }
       queue_.schedule_after(duration, [this, i] {
@@ -175,6 +180,8 @@ class AllReduceSimulation {
 RuntimeStats simulate_allreduce(const Cluster& cluster, const JobParams& job,
                                 util::Rng& rng,
                                 const AllReduceSimOptions& options) {
+  ADML_SPAN("sim.allreduce_run");
+  ADML_COUNT("sim.allreduce_runs", 1);
   AllReduceSimulation sim(cluster, job, rng, options);
   return sim.run();
 }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/flow_network.h"
 
@@ -153,6 +155,9 @@ class PsSimulation {
         duration += down;
         fault_downtime_sum_ += down;
         ++fault_event_count_;
+        ADML_TRACE_INSTANT("sim.fault_episode");
+        ADML_COUNT("sim.fault_events", 1);
+        ADML_GAUGE_ADD("sim.fault_downtime_simulated_seconds", down);
       }
     }
     queue_.schedule_after(duration, [this, w] { start_push(w); });
@@ -330,6 +335,8 @@ class PsSimulation {
 
 RuntimeStats simulate_ps(const Cluster& cluster, const JobParams& job,
                          util::Rng& rng, const PsSimOptions& options) {
+  ADML_SPAN("sim.ps_run");
+  ADML_COUNT("sim.ps_runs", 1);
   PsSimulation sim(cluster, job, rng, options);
   return sim.run();
 }

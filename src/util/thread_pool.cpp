@@ -30,8 +30,13 @@ void ThreadPool::worker_loop() {
       if (tasks_.empty()) return;  // stopped and drained
       task = std::move(tasks_.front());
       tasks_.pop();
+      stats_.queue_depth = tasks_.size();
     }
     task();
+    {
+      std::scoped_lock lock(mutex_);
+      ++stats_.completed;
+    }
   }
 }
 

@@ -15,7 +15,9 @@
 // A task that throws stores its exception in the matching future.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -43,6 +45,10 @@ class ThreadPool {
       std::scoped_lock lock(mutex_);
       if (stopped_) throw std::logic_error("ThreadPool: submit after stop");
       tasks_.emplace([task] { (*task)(); });
+      ++stats_.submitted;
+      stats_.queue_depth = tasks_.size();
+      stats_.peak_queue_depth =
+          std::max(stats_.peak_queue_depth, tasks_.size());
     }
     cv_.notify_one();
     return fut;
@@ -50,13 +56,28 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Lifetime scheduling statistics, maintained under the queue mutex (the
+  /// obs layer publishes these as gauges; the pool itself stays free of
+  /// any obs dependency).
+  struct Stats {
+    std::uint64_t submitted = 0;   // tasks ever enqueued
+    std::uint64_t completed = 0;   // tasks that finished running
+    std::size_t queue_depth = 0;   // queued (not yet running) at last event
+    std::size_t peak_queue_depth = 0;
+  };
+  Stats stats() const {
+    std::scoped_lock lock(mutex_);
+    return stats_;
+  }
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  Stats stats_;
   bool stopped_ = false;
 };
 

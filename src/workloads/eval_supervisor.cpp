@@ -4,6 +4,9 @@
 #include <cmath>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace autodml::wl {
 
 double backoff_mean_seconds(const RetryPolicy& policy, int retry_index) {
@@ -18,6 +21,7 @@ EvalSupervisor::EvalSupervisor(Evaluator& evaluator, RetryPolicy policy,
 
 EvalResult EvalSupervisor::run_attempt(const conf::Config& config,
                                        core::RunController* controller) {
+  ADML_SPAN("eval.attempt");
   auto run = evaluator_->start(config);
   if (run->failed()) return run->result();
 
@@ -57,6 +61,7 @@ EvalResult EvalSupervisor::run_attempt(const conf::Config& config,
 
 SupervisedOutcome EvalSupervisor::evaluate(const conf::Config& config,
                                            core::RunController* controller) {
+  ADML_SPAN("eval.supervised");
   // Per-evaluation jitter stream: derived from the supervisor seed and the
   // evaluation index only, so journal replay can skip it with a counter
   // bump (mirrors Evaluator::start's per-run stream derivation).
@@ -81,6 +86,8 @@ SupervisedOutcome EvalSupervisor::evaluate(const conf::Config& config,
 
     // Capped exponential backoff with jitter before the retry. Waiting
     // burns search wall-clock (the ledger sees it) but no cluster dollars.
+    ADML_TRACE_INSTANT("eval.backoff");
+    ADML_COUNT("eval.retries", 1);
     const double mean = backoff_mean_seconds(policy_, out.attempts);
     const double jitter =
         1.0 + policy_.jitter_fraction * (2.0 * rng.uniform() - 1.0);
@@ -89,6 +96,10 @@ SupervisedOutcome EvalSupervisor::evaluate(const conf::Config& config,
     out.total_spent_seconds += delay;
     evaluator_->charge_overhead(delay, 0.0);
   }
+  ADML_COUNT("eval.attempts", out.attempts);
+  ADML_GAUGE_ADD("eval.backoff_simulated_seconds", out.backoff_seconds);
+  if (!out.result.feasible && core::is_transient(out.result.failure_kind))
+    ADML_COUNT("eval.unrecovered_transient", 1);
   return out;
 }
 

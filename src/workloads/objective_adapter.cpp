@@ -1,5 +1,8 @@
 #include "workloads/objective_adapter.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace autodml::wl {
 
 namespace {
@@ -20,6 +23,8 @@ core::RunOutcome to_outcome(const EvalResult& result, Objective objective) {
 
 core::RunOutcome EvaluatorObjective::run(const conf::Config& config,
                                          core::RunController* controller) {
+  ADML_SPAN("eval.run");
+  ADML_COUNT("eval.runs", 1);
   const Objective objective = evaluator_->options().objective;
   auto run = evaluator_->start(config);
   if (run->failed() || controller == nullptr) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "baselines/baseline_tuners.h"
@@ -11,6 +12,9 @@
 #include "config/sampler.h"
 #include "sim/system_sim.h"
 #include "core/bo_tuner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fs.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 #include "workloads/eval_supervisor.h"
@@ -153,6 +157,69 @@ TEST(Determinism, SupervisedTunerUnderFaultsReproduces) {
     EXPECT_DOUBLE_EQ(a.first.trials[i].outcome.spent_seconds,
                      b.first.trials[i].outcome.spent_seconds)
         << i;
+  }
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbResults) {
+  // The obs layer's core promise: tracing and metrics only *observe*. The
+  // same seeded session run with obs off, with tracing on, and with
+  // metrics on must produce bit-identical incumbents and byte-identical
+  // crash-safe journals (journals serialize every double with %.17g, so a
+  // byte comparison is a bit comparison of the whole trial sequence).
+  enum class Obs { kOff, kTracing, kMetrics };
+  const auto run = [&](Obs mode, const std::string& journal_name) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+    if (mode == Obs::kTracing) tracer.start();
+    if (mode == Obs::kMetrics) {
+      registry.reset();
+      registry.enable();
+    }
+    const std::string journal_path =
+        ::testing::TempDir() + "obs_determinism_" + journal_name + ".jsonl";
+    std::remove(journal_path.c_str());
+    const wl::Workload& workload = wl::workload_by_name("logreg-ads");
+    wl::Evaluator evaluator(workload, 99);
+    wl::EvaluatorObjective objective(evaluator);
+    core::BoOptions options;
+    options.seed = 99;
+    options.max_evaluations = 10;
+    options.initial_design_size = 5;
+    options.surrogate.gp.restarts = 1;
+    options.surrogate.gp.adam_iterations = 60;
+    options.acq_optimizer.random_candidates = 256;
+    options.journal_path = journal_path;
+    core::BoTuner tuner(objective, options);
+    const core::TuningResult result = tuner.tune();
+    if (mode == Obs::kTracing) {
+      tracer.stop();
+      // The trace itself must be non-trivial, or this test proves nothing.
+      EXPECT_GT(tracer.event_count(), 50u);
+      tracer.clear();
+    }
+    if (mode == Obs::kMetrics) {
+      EXPECT_GT(registry.counter("eval.runs").value(), 0);
+      registry.disable();
+      registry.reset();
+    }
+    return std::make_pair(result, util::read_file(journal_path));
+  };
+  const auto baseline = run(Obs::kOff, "off");
+  const auto traced = run(Obs::kTracing, "trace");
+  const auto metered = run(Obs::kMetrics, "metrics");
+
+  for (const auto* other : {&traced, &metered}) {
+    ASSERT_EQ(baseline.first.trials.size(), other->first.trials.size());
+    EXPECT_DOUBLE_EQ(baseline.first.best_objective,
+                     other->first.best_objective);
+    ASSERT_EQ(baseline.first.incumbent_curve.size(),
+              other->first.incumbent_curve.size());
+    for (std::size_t i = 0; i < baseline.first.incumbent_curve.size(); ++i) {
+      EXPECT_DOUBLE_EQ(baseline.first.incumbent_curve[i],
+                       other->first.incumbent_curve[i])
+          << "incumbent diverged at trial " << i;
+    }
+    EXPECT_EQ(baseline.second, other->second) << "journal bytes diverged";
   }
 }
 

@@ -1,0 +1,248 @@
+// Unit coverage for the observability layer: Tracer span recording and
+// export, and MetricsRegistry instrument semantics / snapshots.
+//
+// Both objects are process-wide singletons, so every test restores the
+// disabled/cleared state it found — other test binaries rely on obs being
+// a no-op by default.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace autodml {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::instance().stop();
+    obs::Tracer::instance().clear();
+  }
+  void TearDown() override {
+    obs::Tracer::instance().stop();
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  {
+    ADML_SPAN("noop.outer");
+    ADML_TRACE_INSTANT("noop.marker");
+  }
+  EXPECT_EQ(obs::Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(TracerTest, SpansRecordBalancedPairs) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.start();
+  {
+    ADML_SPAN("outer");
+    {
+      ADML_SPAN("inner");
+    }
+    ADML_TRACE_INSTANT("marker");
+  }
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 5u);  // 2 B + 2 E + 1 instant
+
+  const auto totals = tracer.span_totals();
+  ASSERT_TRUE(totals.count("outer"));
+  ASSERT_TRUE(totals.count("inner"));
+  EXPECT_EQ(totals.at("outer").count, 1u);
+  EXPECT_EQ(totals.at("inner").count, 1u);
+  EXPECT_GE(totals.at("outer").total_seconds,
+            totals.at("inner").total_seconds);
+  EXPECT_FALSE(totals.count("marker"));  // instants are not spans
+}
+
+TEST_F(TracerTest, SpanOpenAcrossStopStillCloses) {
+  // The balance guarantee: a span that saw tracing enabled at construction
+  // emits its 'E' even if the tracer is stopped before destruction.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.start();
+  {
+    ADML_SPAN("straddler");
+    tracer.stop();
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.span_totals().at("straddler").count, 1u);
+}
+
+TEST_F(TracerTest, StartDiscardsPreviousSession) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.start();
+  { ADML_SPAN("first"); }
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 2u);
+  tracer.start();
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST_F(TracerTest, ExportIsValidChromeTraceJson) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.start();
+  {
+    ADML_SPAN("exported");
+    ADML_TRACE_INSTANT("point");
+  }
+  tracer.stop();
+  const util::JsonValue doc = util::parse_json(tracer.export_chrome_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& e : events) {
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("ph").is_string());
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+  }
+  EXPECT_EQ(events[0].at("ph").as_string(), "B");
+  EXPECT_EQ(events[1].at("ph").as_string(), "i");
+  EXPECT_EQ(events[1].at("s").as_string(), "t");  // instant scope
+  EXPECT_EQ(events[2].at("ph").as_string(), "E");
+  EXPECT_LE(events[0].at("ts").as_number(), events[2].at("ts").as_number());
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::instance().reset();
+    obs::MetricsRegistry::instance().enable();
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::instance().disable();
+    obs::MetricsRegistry::instance().reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesAndResets) {
+  obs::Counter& c = obs::MetricsRegistry::instance().counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  obs::MetricsRegistry::instance().reset();
+  EXPECT_EQ(c.value(), 0);
+  // Same name resolves to the same instrument.
+  obs::MetricsRegistry::instance().counter("test.counter").add(7);
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST_F(MetricsTest, GaugeSetAddMax) {
+  obs::Gauge& g = obs::MetricsRegistry::instance().gauge("test.gauge");
+  g.set(2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.max_of(3.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.max_of(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsValuesInclusively) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("test.hist", bounds);
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 100.0}) h.record(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2);  // v <= 1.0 (bound is inclusive)
+  EXPECT_EQ(s.counts[1], 2);  // 1.0 < v <= 2.0
+  EXPECT_EQ(s.counts[2], 1);  // 2.0 < v <= 4.0
+  EXPECT_EQ(s.counts[3], 1);  // overflow
+  EXPECT_EQ(s.count, 6);
+  EXPECT_DOUBLE_EQ(s.sum, 108.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST_F(MetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  const std::vector<double> first = {1.0, 2.0};
+  const std::vector<double> second = {1.0, 3.0};
+  obs::MetricsRegistry::instance().histogram("test.rebind", first);
+  EXPECT_THROW(
+      obs::MetricsRegistry::instance().histogram("test.rebind", second),
+      std::invalid_argument);
+}
+
+TEST_F(MetricsTest, MergeMatchesSerialAccumulation) {
+  obs::Histogram serial({1.0, 2.0});
+  obs::Histogram part_a({1.0, 2.0});
+  obs::Histogram part_b({1.0, 2.0});
+  for (double v : {0.5, 1.5, 3.0}) {
+    serial.record(v);
+    part_a.record(v);
+  }
+  for (double v : {1.0, 7.0}) {
+    serial.record(v);
+    part_b.record(v);
+  }
+  const obs::HistogramSnapshot merged =
+      obs::merge(part_a.snapshot(), part_b.snapshot());
+  const obs::HistogramSnapshot expected = serial.snapshot();
+  EXPECT_EQ(merged.counts, expected.counts);
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_DOUBLE_EQ(merged.sum, expected.sum);
+  EXPECT_DOUBLE_EQ(merged.min, expected.min);
+  EXPECT_DOUBLE_EQ(merged.max, expected.max);
+
+  obs::Histogram mismatched({5.0});
+  EXPECT_THROW(obs::merge(part_a.snapshot(), mismatched.snapshot()),
+               std::invalid_argument);
+}
+
+TEST_F(MetricsTest, DisabledMacroSitesAreNoOps) {
+  obs::MetricsRegistry::instance().disable();
+  ADML_COUNT("test.gated", 1);
+  ADML_GAUGE_SET("test.gated_gauge", 5.0);
+  obs::MetricsRegistry::instance().enable();
+  // The gated sites must not even have registered the instruments.
+  const util::JsonValue snap = obs::MetricsRegistry::instance().snapshot_json();
+  EXPECT_FALSE(snap.at("counters").contains("test.gated"));
+  EXPECT_FALSE(snap.at("gauges").contains("test.gated_gauge"));
+}
+
+TEST_F(MetricsTest, SnapshotJsonShape) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  const std::vector<double> two_buckets = {1.0, 2.0};
+  const std::vector<double> one_bucket = {1.0};
+  reg.counter("snap.counter").add(3);
+  reg.gauge("snap.gauge").set(1.25);
+  reg.histogram("snap.hist", two_buckets).record(1.5);
+  reg.histogram("snap.empty_hist", one_bucket);
+  const util::JsonValue snap = reg.snapshot_json();
+  EXPECT_DOUBLE_EQ(snap.at("counters").at("snap.counter").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(snap.at("gauges").at("snap.gauge").as_number(), 1.25);
+  const util::JsonValue& h = snap.at("histograms").at("snap.hist");
+  EXPECT_EQ(h.at("counts").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_number(), 1.5);
+  // Empty histogram: min/max are not representable in JSON -> null.
+  const util::JsonValue& empty = snap.at("histograms").at("snap.empty_hist");
+  EXPECT_TRUE(empty.at("min").is_null());
+  EXPECT_TRUE(empty.at("max").is_null());
+  // Round-trips through the serializer.
+  EXPECT_EQ(util::parse_json(util::dump_json(snap, 1)), snap);
+}
+
+TEST_F(MetricsTest, SnapshotCsvRows) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  const std::vector<double> one_bucket = {1.0};
+  reg.counter("csv.counter").add(2);
+  reg.histogram("csv.hist", one_bucket).record(0.5);
+  const std::string csv = reg.snapshot_csv();
+  EXPECT_NE(csv.find("counter,csv.counter,2"), std::string::npos);
+  EXPECT_NE(csv.find("csv.hist.count,1"), std::string::npos);
+  EXPECT_NE(csv.find("csv.hist.le_inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autodml
