@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
-# Tier-1 + sanitizer gate.
+# Tier-1 + sanitizer + static-analysis gate.
 #
 # Runs, in order:
 #   1. the plain tier-1 build and test suite (ROADMAP.md contract);
-#   2. the same suite under ASan+UBSan with AUTODML_CHECKED invariants on;
-#   3. the same suite under TSan (exercises util/thread_pool and the
+#   2. adml-lint (tools/lint) over src/ and tools/ — determinism and
+#      lock-discipline invariants, DESIGN.md 6g;
+#   3. the same suite under ASan+UBSan with AUTODML_CHECKED invariants on;
+#   4. the same suite under TSan (exercises util/thread_pool and the
 #      parallel-BO driver);
-#   4. clang-tidy over src/ when the binary is available (the repo
+#   5. a clang build with -Werror=thread-safety (Thread Safety Analysis
+#      over the annotations in src/util/annotations.h), when clang++ is
+#      available;
+#   6. clang-tidy over src/ when the binary is available (the repo
 #      .clang-tidy defines the check set);
-#   5. the config-space linter over every shipped workload.
+#   7. the config-space linter over every shipped workload.
+#
+# Legs 5 and 6 need clang; locally they are skipped with a notice when it
+# is not installed, but under CI (CI=true) a missing clang is a hard
+# failure — the workflow is responsible for installing it, and silently
+# skipping the only build that checks the annotations would defeat them.
 #
 # Environment:
 #   JOBS=N        parallelism (default: nproc)
@@ -17,6 +27,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+
+# Under CI, "tool missing" must fail the leg instead of skipping it.
+require_or_skip() {
+  local tool=$1
+  if command -v "${tool}" >/dev/null 2>&1; then
+    return 0
+  fi
+  if [[ "${CI:-false}" == "true" ]]; then
+    echo "ERROR: ${tool} not installed but CI=true; install it in the workflow" >&2
+    exit 1
+  fi
+  echo "${tool} not installed; skipping (runs in the CI lint job)"
+  return 1
+}
 
 run_suite() {
   local dir=$1
@@ -30,18 +54,30 @@ run_suite() {
 }
 
 run_suite build
+
+echo "==== adml-lint (determinism / lock-discipline linter)"
+./build/tools/adml-lint src tools
+
 run_suite build-asan -DAUTODML_SANITIZE="address;undefined" -DAUTODML_CHECKED=ON
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   run_suite build-tsan -DAUTODML_SANITIZE=thread
 fi
 
+echo "==== clang thread-safety analysis"
+if require_or_skip clang++; then
+  # Build-only (tests already ran above); -Werror=thread-safety promotes
+  # just the analysis group so unrelated clang warnings cannot mask it.
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Werror=thread-safety" >/dev/null
+  cmake --build build-tsa -j "${JOBS}" | tail -n 1
+  ctest --test-dir build-tsa -R tsa_negative_compile --output-on-failure
+fi
+
 echo "==== clang-tidy"
-if command -v clang-tidy >/dev/null 2>&1; then
-  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+if require_or_skip clang-tidy; then
+  cmake -B build -S . >/dev/null  # compile_commands.json is always exported
   mapfile -t sources < <(git ls-files 'src/**/*.cpp')
   clang-tidy -p build --quiet "${sources[@]}"
-else
-  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
 fi
 
 echo "==== config-space lint (shipped workloads)"

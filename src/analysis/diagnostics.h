@@ -35,6 +35,7 @@ inline constexpr std::string_view kDefaultOutOfRange = "L012";
 inline constexpr std::string_view kEncodedDimMismatch = "L013";
 inline constexpr std::string_view kNonFiniteBound = "L014";
 inline constexpr std::string_view kParentAfterChild = "L015";
+inline constexpr std::string_view kInvalidParamName = "L016";
 
 // ---- Warning codes (legal but suspicious) ----------------------------------
 inline constexpr std::string_view kVacuousCondition = "L101";
@@ -42,6 +43,7 @@ inline constexpr std::string_view kSingletonDomain = "L102";
 inline constexpr std::string_view kDuplicateEnablingValue = "L103";
 inline constexpr std::string_view kLinearWideRange = "L104";
 inline constexpr std::string_view kWideOneHot = "L105";
+inline constexpr std::string_view kNormalizedNameCollision = "L106";
 
 struct Diagnostic {
   std::string code;      // one of the L0xx/L1xx constants above

@@ -152,6 +152,7 @@ class LintPass {
   }
 
   LintReport run() {
+    check_names();
     check_duplicate_names();
     for (std::size_t i = 0; i < drafts_.size(); ++i) check_domain(i);
     for (std::size_t i = 0; i < drafts_.size(); ++i) check_condition(i);
@@ -183,6 +184,59 @@ class LintPass {
       return dom;
     }
     return {};
+  }
+
+  static bool valid_name_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+  }
+
+  /// The form under which two names are "the same knob to a human":
+  /// case-folded, with '-' and '_' identified.
+  static std::string normalize_name(std::string_view name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+      if (c == '-') c = '_';
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      out += c;
+    }
+    return out;
+  }
+
+  void check_names() {
+    // L016: names reach journals, CSV headers, and CLI flags verbatim, so
+    // anything outside a conservative identifier alphabet breaks a
+    // downstream parser eventually.
+    for (const auto& d : drafts_) {
+      const bool bad =
+          d.name.empty() ||
+          !std::all_of(d.name.begin(), d.name.end(), valid_name_char);
+      if (bad) {
+        add(kInvalidParamName, Severity::kError, d.name,
+            d.name.empty()
+                ? "parameter name is empty"
+                : "parameter name contains characters outside [A-Za-z0-9_.-]",
+            "use a short identifier-style name");
+      }
+    }
+    // L106: distinct raw names that collapse to the same normalized form
+    // ("Shards" vs "shards", "num-workers" vs "num_workers") are almost
+    // always a typo for one knob; exact duplicates are L001's job.
+    std::map<std::string, std::string> first_raw;  // normalized -> first raw
+    std::set<std::string> raw_seen;
+    for (const auto& d : drafts_) {
+      if (!raw_seen.insert(d.name).second) continue;  // exact dup: L001
+      const std::string norm = normalize_name(d.name);
+      const auto [it, inserted] = first_raw.emplace(norm, d.name);
+      if (!inserted) {
+        add(kNormalizedNameCollision, Severity::kWarning, d.name,
+            "name collides with '" + it->second +
+                "' up to case and -/_ (journals and CLI flags will look "
+                "like one knob)",
+            "pick visibly distinct names or unify the spelling");
+      }
+    }
   }
 
   void check_duplicate_names() {
@@ -554,6 +608,8 @@ std::vector<ParamDraft> malformed_demo_space() {
   ParamDraft shards = ParamDraft::integer("shards", 1, 1048576);  // L104
   shards.default_value = std::int64_t{0};  // L012
   drafts.push_back(std::move(shards));
+  drafts.push_back(ParamDraft::continuous("learn rate", 0.1, 1.0));  // L016
+  drafts.push_back(ParamDraft::integer("Shards", 1, 8));  // L106
   return drafts;
 }
 

@@ -15,6 +15,13 @@ namespace autodml::baselines {
 // modeling q machines running in parallel. Acquisition scoring inside each
 // proposal may use real threads (acq_threads > 1) — its deterministic
 // reduction keeps every number this baseline reports identical.
+//
+// Lock discipline: this driver owns no mutex-guarded state of its own.
+// The only concurrency is inside core::propose_candidate's chunked
+// scoring, whose workers write disjoint slots (see
+// acquisition_optimizer.cpp); the pool's annotated queue mutex
+// (util/thread_pool.h) is the sole capability in play, so clang
+// -Wthread-safety verifies this file by verifying its callees.
 ParallelBoResult parallel_bo(core::ObjectiveFunction& objective,
                              const ParallelBoOptions& options) {
   if (options.batch_size < 1 || options.rounds < 1)

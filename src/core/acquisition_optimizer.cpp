@@ -47,8 +47,13 @@ std::vector<double> score_candidates(const SurrogateModel& surrogate,
     score_range(0, candidates.size());
     return scores;
   }
-  // Oversplit relative to the thread count so a slow chunk (e.g. one
-  // hitting the feasibility GP) does not serialize the tail.
+  // Lock discipline: the workers share no guarded state — each chunk
+  // writes a disjoint index range of `scores`, and the surrogate is only
+  // read — so there is deliberately no mutex here for -Wthread-safety to
+  // track; the submit/join pair in util::ThreadPool is the only
+  // synchronization. Oversplit relative to the thread count so a slow
+  // chunk (e.g. one hitting the feasibility GP) does not serialize the
+  // tail.
   const std::size_t chunks =
       std::min(candidates.size(), options.pool->size() * 4);
   const std::size_t per_chunk = (candidates.size() + chunks - 1) / chunks;

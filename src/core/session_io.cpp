@@ -292,7 +292,10 @@ TrialJournal::TrialJournal(const std::string& path,
 }
 
 void TrialJournal::append(const Trial& trial) {
-  appender_.append(util::dump_json(trial_to_json(trial)) + "\n");
+  // Serialize outside the lock (the expensive part), write under it.
+  const std::string record = util::dump_json(trial_to_json(trial)) + "\n";
+  util::MutexLock lock(mu_);
+  appender_.append(record);
 }
 
 std::string dump_journal(const JournalHeader& header,

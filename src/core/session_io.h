@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/tuner_types.h"
+#include "util/annotations.h"
 #include "util/fs.h"
 #include "util/json.h"
 
@@ -71,18 +72,28 @@ struct LoadedJournal {
 
 /// Append-only journal writer. Every append is fsynced before returning,
 /// so the journal never lags the tuner by more than the record in flight.
+///
+/// Thread-safe: appends from concurrent sessions sharing one journal are
+/// serialized under an internal mutex, so records never interleave
+/// mid-line (the durability contract is per whole record). Record *order*
+/// across threads is scheduling-dependent; replay tolerates any order
+/// because trials are keyed by content, not position.
 class TrialJournal {
  public:
   /// Opens `path` for appending; writes the header line first when the
   /// file is new or empty.
   TrialJournal(const std::string& path, const JournalHeader& header);
 
-  void append(const Trial& trial);
+  void append(const Trial& trial) ADML_EXCLUDES(mu_);
 
-  const std::string& path() const { return appender_.path(); }
+  std::string path() const ADML_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return appender_.path();
+  }
 
  private:
-  util::DurableAppender appender_;
+  mutable util::Mutex mu_;
+  util::DurableAppender appender_ ADML_GUARDED_BY(mu_);
 };
 
 /// Load a journal for resumption. Returns an empty trial list when the

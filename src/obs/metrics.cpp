@@ -88,14 +88,14 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 void MetricsRegistry::reset() {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -105,7 +105,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -115,7 +115,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> bounds) {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -134,7 +134,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 util::JsonValue MetricsRegistry::snapshot_json() const {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   util::JsonObject counters;
   for (const auto& [name, c] : counters_) {
     counters.emplace(name, util::JsonValue(c->value()));
@@ -169,7 +169,7 @@ util::JsonValue MetricsRegistry::snapshot_json() const {
 }
 
 std::string MetricsRegistry::snapshot_csv() const {
-  std::scoped_lock lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   out << "kind,name,value\n";
   for (const auto& [name, c] : counters_) {

@@ -21,12 +21,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/json.h"
 
 namespace autodml::obs {
@@ -121,29 +121,36 @@ class MetricsRegistry {
     return enabled_.load(std::memory_order_relaxed);
   }
   /// Zero every instrument (registrations survive).
-  void reset();
+  void reset() ADML_EXCLUDES(mu_);
 
   /// Get-or-create by name. References stay valid for the registry's
   /// lifetime (instruments are never deallocated).
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) ADML_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) ADML_EXCLUDES(mu_);
   /// Re-requesting an existing histogram with different bounds throws.
-  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+  Histogram& histogram(std::string_view name, std::span<const double> bounds)
+      ADML_EXCLUDES(mu_);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-  util::JsonValue snapshot_json() const;
+  util::JsonValue snapshot_json() const ADML_EXCLUDES(mu_);
   /// Flat "kind,name,value" lines; histograms expand to .count/.sum/.min/
   /// .max plus one le_<bound> row per bucket.
-  std::string snapshot_csv() const;
+  std::string snapshot_csv() const ADML_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The registry mutex guards only name -> instrument lookup; returned
+  // instrument references are lock-free (the instruments are atomic
+  // internally and never deallocated).
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ADML_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ADML_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      ADML_GUARDED_BY(mu_);
 };
 
 }  // namespace autodml::obs

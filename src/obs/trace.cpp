@@ -29,7 +29,7 @@ Tracer& Tracer::instance() {
 Tracer::ThreadBuffer& Tracer::local_buffer() {
   thread_local ThreadBuffer* cached = nullptr;
   if (cached == nullptr) {
-    std::scoped_lock lock(registry_mu_);
+    util::MutexLock lock(registry_mu_);
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
     cached = buffer.get();
@@ -46,16 +46,16 @@ void Tracer::start() {
 void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
 
 void Tracer::clear() {
-  std::scoped_lock lock(registry_mu_);
+  util::MutexLock lock(registry_mu_);
   for (auto& buffer : buffers_) {
-    std::scoped_lock buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
   }
 }
 
 void Tracer::record(const char* name, char ph) {
   ThreadBuffer& buffer = local_buffer();
-  std::scoped_lock lock(buffer.mu);
+  util::MutexLock lock(buffer.mu);
   // Timestamp under the buffer lock, after any queued export finished:
   // per-thread order equals program order, so timestamps are monotonic
   // within each tid.
@@ -64,9 +64,9 @@ void Tracer::record(const char* name, char ph) {
 
 std::string Tracer::export_chrome_json() {
   util::JsonArray events;
-  std::scoped_lock lock(registry_mu_);
+  util::MutexLock lock(registry_mu_);
   for (auto& buffer : buffers_) {
-    std::scoped_lock buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     for (const TraceEvent& e : buffer->events) {
       util::JsonObject obj;
       obj.emplace("name", util::JsonValue(e.name));
@@ -87,9 +87,9 @@ std::string Tracer::export_chrome_json() {
 
 std::map<std::string, Tracer::SpanStat> Tracer::span_totals() {
   std::map<std::string, SpanStat> totals;
-  std::scoped_lock lock(registry_mu_);
+  util::MutexLock lock(registry_mu_);
   for (auto& buffer : buffers_) {
-    std::scoped_lock buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     // Per-thread begin stack; RAII guarantees LIFO pairing within a thread.
     std::vector<const TraceEvent*> stack;
     for (const TraceEvent& e : buffer->events) {
@@ -112,10 +112,10 @@ std::map<std::string, Tracer::SpanStat> Tracer::span_totals() {
 }
 
 std::size_t Tracer::event_count() {
-  std::scoped_lock lock(registry_mu_);
+  util::MutexLock lock(registry_mu_);
   std::size_t n = 0;
   for (auto& buffer : buffers_) {
-    std::scoped_lock buffer_lock(buffer->mu);
+    util::MutexLock buffer_lock(buffer->mu);
     n += buffer->events.size();
   }
   return n;

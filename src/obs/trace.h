@@ -26,9 +26,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace autodml::obs {
 
@@ -52,17 +53,17 @@ class Tracer {
     return enabled_.load(std::memory_order_relaxed);
   }
   /// Drop all buffered events (thread buffers stay registered).
-  void clear();
+  void clear() ADML_EXCLUDES(registry_mu_);
 
   /// Append one event to the calling thread's buffer. Unconditional: the
   /// enabled() gate lives at the instrumentation site so that a span
   /// opened while tracing was on can always close its 'E' event.
-  void record(const char* name, char ph);
+  void record(const char* name, char ph) ADML_EXCLUDES(registry_mu_);
 
   /// Serialize everything buffered so far as a Chrome trace-event JSON
   /// document ({"traceEvents": [...]}). Every event carries the
   /// Perfetto-required fields: name, ph, ts (microseconds), pid, tid.
-  std::string export_chrome_json();
+  std::string export_chrome_json() ADML_EXCLUDES(registry_mu_);
 
   /// Aggregate of closed spans: exclusive of nothing (nested spans count
   /// their children's time too), keyed by span name.
@@ -70,24 +71,27 @@ class Tracer {
     std::uint64_t count = 0;
     double total_seconds = 0.0;
   };
-  std::map<std::string, SpanStat> span_totals();
+  std::map<std::string, SpanStat> span_totals() ADML_EXCLUDES(registry_mu_);
 
   /// Buffered event count across all threads (testing/diagnostics).
-  std::size_t event_count();
+  std::size_t event_count() ADML_EXCLUDES(registry_mu_);
 
  private:
   struct ThreadBuffer {
     std::uint32_t tid;
-    std::mutex mu;
-    std::vector<TraceEvent> events;
+    util::Mutex mu;
+    std::vector<TraceEvent> events ADML_GUARDED_BY(mu);
   };
 
   Tracer() = default;
-  ThreadBuffer& local_buffer();
+  /// Registers (under registry_mu_) and returns the calling thread's
+  /// buffer; the returned reference is stable for the tracer's lifetime.
+  ThreadBuffer& local_buffer() ADML_EXCLUDES(registry_mu_);
 
   std::atomic<bool> enabled_{false};
-  std::mutex registry_mu_;  // guards buffers_ growth
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  util::Mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      ADML_GUARDED_BY(registry_mu_);
 };
 
 /// RAII span. Emits 'B' on construction when the tracer is collecting and

@@ -11,9 +11,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 namespace autodml::sim {
@@ -63,8 +63,12 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  // Ordered containers: these are keyed lookups today, but ordered
+  // iteration is a determinism invariant the in-tree linter enforces
+  // (adml-lint D003) -- unordered iteration order is implementation-
+  // defined and would silently vary across standard libraries.
+  std::map<EventId, std::function<void()>> handlers_;
+  std::set<EventId> cancelled_;
   std::size_t live_count_ = 0;
 };
 

@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -71,7 +71,10 @@ class FlowNetwork {
 
   EventQueue* queue_;
   std::vector<double> link_capacity_;
-  std::unordered_map<FlowId, Flow> flows_;
+  // Iterated in the max-min rate computation: must be ordered so the
+  // floating-point accumulation order (and therefore every simulated
+  // timing) is identical on every platform (adml-lint D003).
+  std::map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;
   double last_progress_time_ = 0.0;
   EventId completion_event_ = 0;

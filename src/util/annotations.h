@@ -1,0 +1,141 @@
+// Clang Thread Safety Analysis annotations and the annotated lock types
+// every component must use instead of raw <mutex> primitives.
+//
+// The repo's concurrency guarantees — proposals bit-identical at any
+// thread count, byte-identical journals, associative metric merges — are
+// enforced at runtime by TSan and the determinism tests. This header adds
+// the *static* half: under clang, `-Wthread-safety` (enabled automatically
+// by the top-level CMakeLists) proves at compile time that every access to
+// an `ADML_GUARDED_BY` member happens with its mutex held. Under other
+// compilers every macro expands to nothing and `Mutex`/`MutexLock`/
+// `CondVar` behave exactly like the std primitives they wrap.
+//
+// Usage pattern:
+//
+//   class Queue {
+//    public:
+//     void push(Item item) ADML_EXCLUDES(mu_) {
+//       MutexLock lock(mu_);
+//       items_.push_back(std::move(item));
+//     }
+//    private:
+//     Mutex mu_;
+//     std::vector<Item> items_ ADML_GUARDED_BY(mu_);
+//   };
+//
+// Raw `std::mutex` / `std::condition_variable` / `std::scoped_lock` are
+// banned outside this header (adml-lint diagnostic D006): the std types
+// carry no capability annotations, so locking through them is invisible
+// to the analysis and silently re-opens the hole this header closes.
+//
+// See DESIGN.md §6g for the annotation conventions and the negative
+// compile check that keeps the analysis honest.
+#pragma once
+
+#include <condition_variable>  // adml-lint: allow(D006 this header is the one sanctioned wrapper around the std primitives)
+#include <mutex>               // adml-lint: allow(D006 this header is the one sanctioned wrapper around the std primitives)
+
+// ---- Raw attribute macros --------------------------------------------------
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ADML_TSA(x) __attribute__((x))
+#else
+#define ADML_TSA(x)  // no-op off clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define ADML_CAPABILITY(x) ADML_TSA(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define ADML_SCOPED_CAPABILITY ADML_TSA(scoped_lockable)
+
+/// Data member readable/writable only while the given capability is held.
+#define ADML_GUARDED_BY(x) ADML_TSA(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define ADML_PT_GUARDED_BY(x) ADML_TSA(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and still held on
+/// exit).
+#define ADML_REQUIRES(...) ADML_TSA(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define ADML_ACQUIRE(...) ADML_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define ADML_RELEASE(...) ADML_TSA(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define ADML_TRY_ACQUIRE(...) ADML_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (catches self-deadlock on
+/// non-recursive mutexes).
+#define ADML_EXCLUDES(...) ADML_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define ADML_RETURN_CAPABILITY(x) ADML_TSA(lock_returned(x))
+
+/// Escape hatch — disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define ADML_NO_THREAD_SAFETY_ANALYSIS ADML_TSA(no_thread_safety_analysis)
+
+// ---- Annotated lock types --------------------------------------------------
+
+namespace autodml::util {
+
+/// std::mutex with capability annotations. Prefer MutexLock for scoped
+/// acquisition; the raw lock()/unlock() interface exists for the CondVar
+/// wait protocol and for adapters that need manual control.
+class ADML_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ADML_ACQUIRE() { mu_.lock(); }
+  void unlock() ADML_RELEASE() { mu_.unlock(); }
+  bool try_lock() ADML_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex (the annotated counterpart of
+/// std::scoped_lock).
+class ADML_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ADML_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() ADML_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable usable with Mutex. wait() requires the mutex held —
+/// use the manual-loop form so the analysis can follow the predicate:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, and re-acquire before returning. The
+  /// capability is held across the call from the analysis's point of view
+  /// (the release/re-acquire window is internal to the wait protocol).
+  void wait(Mutex& mu) ADML_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace autodml::util

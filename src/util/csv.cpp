@@ -67,7 +67,8 @@ void CsvWriter::RowBuilder::done() { writer_->row(cells_); }
 
 std::string fmt(double v, int precision) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  std::snprintf(buf, sizeof(buf), "%.*g",  // adml-lint: allow(D005 caller-chosen precision; serializers pass 17)
+                precision, v);
   return buf;
 }
 

@@ -4,11 +4,15 @@
 #include <chrono>
 #include <cstdio>
 
+#include "util/annotations.h"
+
 namespace autodml::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+// Serializes interleaved stderr writes; guards no members, so there is
+// nothing for ADML_GUARDED_BY to name.
+Mutex g_mutex;  // adml-lint: allow(D102 serializes a shared stream, not data)
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -38,7 +42,7 @@ void log_line(LogLevel level, std::string_view msg) {
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       now.time_since_epoch())
                       .count();
-  std::scoped_lock lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%lld.%03lld %s] %.*s\n",
                static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), tag(level),

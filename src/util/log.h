@@ -5,7 +5,6 @@
 // use for progress lines. Library code logs sparingly (warnings only).
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>

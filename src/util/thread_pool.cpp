@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stopped_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopped_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopped_ && tasks_.empty()) cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stopped and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -34,7 +34,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.completed;
     }
   }

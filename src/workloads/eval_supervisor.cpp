@@ -64,9 +64,14 @@ SupervisedOutcome EvalSupervisor::evaluate(const conf::Config& config,
   ADML_SPAN("eval.supervised");
   // Per-evaluation jitter stream: derived from the supervisor seed and the
   // evaluation index only, so journal replay can skip it with a counter
-  // bump (mirrors Evaluator::start's per-run stream derivation).
-  std::uint64_t mix = seed_ ^ (0x9e3779b97f4a7c15ULL * (eval_counter_ + 1));
-  ++eval_counter_;
+  // bump (mirrors Evaluator::start's per-run stream derivation). Claim the
+  // index under the lock; everything after runs with it released.
+  std::uint64_t mix;
+  {
+    util::MutexLock lock(mu_);
+    mix = seed_ ^ (0x9e3779b97f4a7c15ULL * (eval_counter_ + 1));
+    ++eval_counter_;
+  }
   util::Rng rng(util::splitmix64(mix));
 
   SupervisedOutcome out;

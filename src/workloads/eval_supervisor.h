@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/tuner_types.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 #include "workloads/evaluator.h"
 
@@ -70,16 +71,29 @@ class EvalSupervisor {
   /// Run one supervised evaluation. `controller` (may be null) streams
   /// checkpoints of each attempt; a controller abort ends the evaluation
   /// immediately (early termination is a verdict, not a failure).
+  ///
+  /// The retry/jitter counter is mutex-guarded, so concurrent callers get
+  /// distinct jitter streams; the wrapped Evaluator itself is NOT
+  /// thread-safe, so concurrent evaluate() additionally requires one
+  /// evaluator per caller (the per-session layout the tuning service
+  /// uses) or external serialization.
   SupervisedOutcome evaluate(const conf::Config& config,
-                             core::RunController* controller = nullptr);
+                             core::RunController* controller = nullptr)
+      ADML_EXCLUDES(mu_);
 
   /// Journal replay: advance the per-evaluation jitter stream without
   /// evaluating (pair with Evaluator::skip_run for the attempts).
-  void skip_evaluation() { ++eval_counter_; }
+  void skip_evaluation() ADML_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    ++eval_counter_;
+  }
 
   const RetryPolicy& policy() const { return policy_; }
   Evaluator& evaluator() { return *evaluator_; }
-  std::size_t num_evaluations() const { return eval_counter_; }
+  std::size_t num_evaluations() const ADML_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return eval_counter_;
+  }
 
  private:
   EvalResult run_attempt(const conf::Config& config,
@@ -88,7 +102,10 @@ class EvalSupervisor {
   Evaluator* evaluator_;
   RetryPolicy policy_;
   std::uint64_t seed_;
-  std::size_t eval_counter_ = 0;
+  mutable util::Mutex mu_;
+  /// Evaluations started so far; also the jitter-stream index of the next
+  /// evaluation.
+  std::size_t eval_counter_ ADML_GUARDED_BY(mu_) = 0;
 };
 
 /// Tuner adapter running every evaluation through an EvalSupervisor.

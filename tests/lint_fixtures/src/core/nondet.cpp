@@ -1,0 +1,33 @@
+// Fixture: determinism violations on a core (proposal) path. Never
+// compiled — scanned by lint_tool_test. A trailing marker naming a
+// diagnostic code means the scanner must emit exactly that finding for
+// the line; the test fails on both missed and extra findings.
+#include <unordered_map>  // expect(D003)
+
+#include <random>  // expect(D101)
+
+namespace fixture {
+
+int draw() {
+  std::mt19937 gen(42);  // expect(D001)
+  std::random_device rd;  // expect(D001)
+  return static_cast<int>(gen() + rd());
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())  // expect(D002)
+      .count();
+}
+
+int lookup(int k) {
+  std::unordered_map<int, int> m;  // expect(D003)
+  return m[k];
+}
+
+// Needles inside comments must not fire: std::mt19937, steady_clock::now,
+// std::unordered_set.
+const char* kDoc =
+    "strings are inert too: std::rand() and system_clock::now()";
+
+}  // namespace fixture

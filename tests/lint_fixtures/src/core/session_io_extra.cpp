@@ -1,0 +1,15 @@
+// Fixture: lossy float formats in a serialization file (path classifies
+// as src/core/session_io*, where every float must round-trip).
+#include <cstdio>
+
+namespace fixture {
+
+void write(double objective, double seconds, char* buf, unsigned long n) {
+  std::snprintf(buf, n, "%g", objective);  // expect(D005)
+  std::snprintf(buf, n, "%.6f", seconds);  // expect(D005)
+  std::snprintf(buf, n, "%.17g", objective);
+  std::snprintf(buf, n, "%d %s %zu", 1, "ok", n);
+  std::snprintf(buf, n, "100%% done");
+}
+
+}  // namespace fixture

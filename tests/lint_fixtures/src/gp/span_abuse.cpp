@@ -1,0 +1,18 @@
+// Fixture: trace-span discipline violations outside src/obs.
+namespace fixture {
+
+struct Buffer {
+  void record(char phase, const char* name);
+};
+
+void bad_spans(Buffer& buf) {
+  buf.record('B', "gp.fit");  // expect(D004)
+  obs::ScopedSpan span("gp.fit");  // expect(D004)
+  const char* name = "gp.fit";
+  ADML_SPAN(name);  // expect(D007)
+  ADML_SPAN("Fit GP");  // expect(D103)
+  ADML_SPAN("gp.fit.cholesky");
+  buf.record('E', "gp.fit");  // expect(D004)
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: a file the scanner must pass with zero findings. Exercises
+// the comment/string state machine and justified suppressions.
+#include <map>
+#include <string>
+
+#include "util/annotations.h"
+#include "util/rng.h"
+
+namespace fixture {
+
+/* Block comments are inert: std::mt19937, std::unordered_map<int,int>,
+   std::mutex, steady_clock::now(), std::endl. */
+
+// util/ is not a deterministic dir, so clock needles are legal here even
+// outside strings; keep one in a string anyway:
+const char* kMsg = "timings use steady_clock::now() upstream";
+
+struct Holder {
+  // A justified suppression silences the unguarded-member warning.
+  util::Mutex mu;  // adml-lint: allow(D102 guards construction of the pool, not data)
+};
+
+double draw(autodml::util::Rng& rng) { return rng.next_double(); }
+
+// Raw strings hide needles too.
+const char* kRaw = R"(std::rand() inside a raw string)";
+
+}  // namespace fixture

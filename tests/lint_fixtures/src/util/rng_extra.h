@@ -1,0 +1,7 @@
+// Fixture: util/rng* files are exempt from D001/D101 — the whole point
+// of the rule is that randomness is *centralized* here.
+#pragma once
+
+// NOTE: path is src/util/rng_extra.h, which does NOT match the
+// src/util/rng.* exemption — so the include below must still flag.
+#include <random>  // expect(D101)

@@ -1,0 +1,25 @@
+// Fixture: locking-discipline violations.
+#include <mutex>  // expect(D006)
+
+#include "util/annotations.h"
+
+namespace fixture {
+
+class Bad {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // expect(D006)
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // expect(D006)
+  util::Mutex annotated_mu_;  // expect(D102)
+  long count_ = 0;  // adml-lint: allow(D003)  expect(D008)
+};
+
+void log_progress() {
+  std::cout << "done" << std::endl;  // expect(D104)
+}
+
+}  // namespace fixture

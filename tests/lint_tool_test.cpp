@@ -1,0 +1,192 @@
+// Drives adml-lint (tools/lint) against the fixture corpus under
+// tests/lint_fixtures/. Every fixture line carrying an `expect(DNNN)`
+// marker must produce exactly that finding, and no fixture may produce a
+// finding without a marker — the comparison is an exact two-way match,
+// so both false negatives and false positives fail loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace adml_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fixtures_root() {
+  return fs::path(AUTODML_SOURCE_DIR) / "tests" / "lint_fixtures";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// (line, code) pairs from `expect(DNNN)` markers in the raw text.
+std::multiset<std::pair<std::size_t, std::string>> expected_findings(
+    const std::string& content) {
+  std::multiset<std::pair<std::size_t, std::string>> out;
+  std::istringstream in(content);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t pos = 0;
+    while ((pos = line.find("expect(D", pos)) != std::string::npos) {
+      const std::string code = line.substr(pos + 7, 4);
+      out.emplace(line_no, code);
+      pos += 8;
+    }
+  }
+  return out;
+}
+
+std::vector<fs::path> fixture_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(fixtures_root())) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_GE(files.size(), 6u) << "fixture corpus went missing";
+  return files;
+}
+
+TEST(LintFixtures, EveryMarkerMatchesExactlyOneFinding) {
+  for (const fs::path& file : fixture_files()) {
+    const std::string content = read_file(file);
+    const auto expected = expected_findings(content);
+    std::multiset<std::pair<std::size_t, std::string>> actual;
+    for (const Finding& f : scan_file(file.generic_string(), content)) {
+      actual.emplace(f.line, f.code);
+    }
+    EXPECT_EQ(actual, expected) << "in fixture " << file << ":\n"
+                                << [&] {
+                                     std::string s;
+                                     for (const Finding& f :
+                                          scan_file(file.generic_string(),
+                                                    content)) {
+                                       s += f.to_string() + "\n";
+                                     }
+                                     return s;
+                                   }();
+  }
+}
+
+TEST(LintFixtures, CorpusExercisesMostOfTheCatalog) {
+  std::set<std::string> codes;
+  for (const fs::path& file : fixture_files()) {
+    for (const auto& [line, code] : expected_findings(read_file(file))) {
+      codes.insert(code);
+    }
+  }
+  // The corpus must cover every error code and most warnings.
+  for (const std::string_view code :
+       {kNondetRandom, kWallClock, kUnorderedContainer, kManualSpanEvent,
+        kLossyFloatFormat, kRawMutex, kNonLiteralSpanName, kBareSuppression,
+        kRandomHeader, kUnguardedMutexMember, kBadSpanName, kEndlFlush}) {
+    EXPECT_TRUE(codes.count(std::string(code))) << "no fixture for " << code;
+  }
+}
+
+TEST(LintFixtures, ScanPathsCoversTheCorpusSorted) {
+  std::string error;
+  const auto findings =
+      scan_paths({fixtures_root().generic_string()}, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_FALSE(findings.empty());
+  EXPECT_TRUE(has_errors(findings));
+  const bool sorted = std::is_sorted(
+      findings.begin(), findings.end(), [](const auto& a, const auto& b) {
+        return std::tie(a.path, a.line) < std::tie(b.path, b.line);
+      });
+  EXPECT_TRUE(sorted);
+}
+
+// ---- unit tests on synthetic content ---------------------------------------
+
+TEST(LintScanner, JustifiedSuppressionSilencesOnlyThatCode) {
+  const std::string content =
+      "std::unordered_map<int,int> m;  "
+      "// adml-lint: allow(D003 lookup-only, never iterated)\n"
+      "std::unordered_map<int,int> n;\n";
+  const auto findings = scan_file("src/core/x.cpp", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, kUnorderedContainer);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintScanner, BareSuppressionIsItselfAnError) {
+  const auto findings =
+      scan_file("src/core/x.cpp", "int a;  // adml-lint: allow(D003)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, kBareSuppression);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+}
+
+TEST(LintScanner, NeedlesInCommentsAndStringsAreInert) {
+  const std::string content =
+      "// std::mt19937 in a comment\n"
+      "/* std::unordered_map across\n"
+      "   lines */\n"
+      "const char* s = \"std::rand() and std::endl\";\n";
+  EXPECT_TRUE(scan_file("src/core/x.cpp", content).empty());
+}
+
+TEST(LintScanner, PathSensitivity) {
+  const std::string clock = "auto t = std::chrono::steady_clock::now();\n";
+  // Deterministic dir: error. Observability/util: legal.
+  EXPECT_FALSE(scan_file("src/gp/x.cpp", clock).empty());
+  EXPECT_TRUE(scan_file("src/obs/x.cpp", clock).empty());
+  EXPECT_TRUE(scan_file("src/util/stopwatch.cpp", clock).empty());
+  // Absolute path classifies by repo-relative suffix.
+  EXPECT_FALSE(scan_file("/home/u/repo/src/gp/x.cpp", clock).empty());
+}
+
+TEST(LintScanner, FindingFormattingIsStable) {
+  const auto findings =
+      scan_file("src/core/x.cpp", "std::mt19937 gen;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string line = findings[0].to_string();
+  EXPECT_NE(line.find("src/core/x.cpp:1:"), std::string::npos) << line;
+  EXPECT_NE(line.find("D001 error:"), std::string::npos) << line;
+  EXPECT_NE(line.find("hint:"), std::string::npos) << line;
+}
+
+TEST(LintScanner, CatalogListsEveryCodeOnceErrorsFirst) {
+  const auto catalog = check_catalog();
+  std::set<std::string_view> codes;
+  bool seen_warning = false;
+  for (const CheckInfo& check : catalog) {
+    EXPECT_TRUE(codes.insert(check.code).second) << check.code;
+    if (check.severity == Severity::kWarning) seen_warning = true;
+    // Errors first: no error may follow a warning.
+    EXPECT_FALSE(seen_warning && check.severity == Severity::kError);
+  }
+  EXPECT_EQ(codes.size(), 12u);
+}
+
+TEST(LintScanner, RealTreeIsClean) {
+  std::string error;
+  const auto findings = scan_paths(
+      {(fs::path(AUTODML_SOURCE_DIR) / "src").generic_string(),
+       (fs::path(AUTODML_SOURCE_DIR) / "tools").generic_string()},
+      &error);
+  EXPECT_TRUE(error.empty()) << error;
+  std::string rendered;
+  for (const Finding& f : findings) rendered += f.to_string() + "\n";
+  EXPECT_TRUE(findings.empty()) << rendered;
+}
+
+}  // namespace
+}  // namespace adml_lint

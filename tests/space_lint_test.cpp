@@ -193,6 +193,23 @@ TEST(SpaceLint, L015ParentDeclaredAfterChild) {
   expect_single(lint(drafts), kParentAfterChild, "child");
 }
 
+TEST(SpaceLint, L016InvalidParamNameCharacters) {
+  const auto report = lint({ParamDraft::integer("num workers", 1, 4)});
+  expect_single(report, kInvalidParamName, "num workers");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(SpaceLint, L016EmptyParamName) {
+  const auto report = lint({ParamDraft::boolean("")});
+  expect_single(report, kInvalidParamName, "");
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(SpaceLint, L016AcceptsIdentifierStyleNames) {
+  const auto report = lint({ParamDraft::integer("ps.num-shards_2", 1, 4)});
+  EXPECT_FALSE(report.has(kInvalidParamName)) << report.to_string();
+}
+
 // ---- one test per warning code ---------------------------------------------
 
 TEST(SpaceLint, L101VacuousCondition) {
@@ -234,6 +251,24 @@ TEST(SpaceLint, L105WideOneHotBlock) {
   for (int i = 0; i < 20; ++i) cats.push_back("c" + std::to_string(i));
   expect_single(lint({ParamDraft::categorical("big", cats)}), kWideOneHot,
                 "big");
+}
+
+TEST(SpaceLint, L106NormalizedNameCollision) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::integer("num_workers", 1, 4));
+  drafts.push_back(ParamDraft::integer("Num-Workers", 1, 4));
+  const auto report = lint(drafts);
+  expect_single(report, kNormalizedNameCollision, "Num-Workers");
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(SpaceLint, L106ExactDuplicateIsL001NotL106) {
+  std::vector<ParamDraft> drafts;
+  drafts.push_back(ParamDraft::boolean("x"));
+  drafts.push_back(ParamDraft::boolean("x"));
+  const auto report = lint(drafts);
+  EXPECT_TRUE(report.has(kDuplicateParam));
+  EXPECT_FALSE(report.has(kNormalizedNameCollision)) << report.to_string();
 }
 
 // ---- built-space linting ---------------------------------------------------

@@ -1,0 +1,36 @@
+// Negative-compile check for clang Thread Safety Analysis.
+//
+// This file contains a seeded lock-discipline violation: a member
+// declared ADML_GUARDED_BY is written without holding the mutex. It is
+// compiled (syntax-only) with -Werror=thread-safety and registered in
+// ctest with WILL_FAIL TRUE — if the compile *succeeds*, the analysis
+// silently stopped seeing our annotations and the test suite fails.
+#include <cstddef>
+
+#include "util/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++count_;  // BUG (on purpose): writes count_ without holding mu_
+  }
+
+  std::size_t value() {
+    autodml::util::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  autodml::util::Mutex mu_;
+  std::size_t count_ ADML_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  return static_cast<int>(c.value());
+}

@@ -1,0 +1,98 @@
+// adml-lint: the in-tree determinism & concurrency-discipline linter.
+//
+// A standalone token-level scanner (plain std C++, no libclang) encoding
+// repo invariants no off-the-shelf tool knows:
+//
+//   - every random draw flows through util::rng (fixed-seed replay),
+//   - deterministic paths never read a wall clock,
+//   - containers iterated on proposal/journal/export paths have defined
+//     iteration order,
+//   - trace spans are RAII-balanced and their names form a stable
+//     taxonomy,
+//   - floats that must round-trip are serialized with %.17g,
+//   - every lock is an annotated util::Mutex that clang -Wthread-safety
+//     can see.
+//
+// Diagnostics carry stable codes: D0xx are errors (the invariant is
+// broken), D1xx are warnings (suspicious; legal). A finding on a line is
+// suppressed by an inline justification comment on that same line:
+//
+//   std::map<K,V> m;  // adml-lint: allow(D003 lookup-only, never iterated)
+//
+// The code must match and a justification must follow it; bare
+// suppressions are themselves an error (D008). See DESIGN.md §6g for the
+// full catalog and conventions.
+//
+// The scanner is line-based with a small comment/string state machine:
+// rule needles never match inside comments or string literals (except the
+// format-string rule, which inspects string literals on purpose). It is
+// deliberately dumb — no preprocessor, no templates — which keeps it fast
+// (whole repo in milliseconds) and its false-positive surface small
+// enough that every finding is actionable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adml_lint {
+
+enum class Severity { kWarning, kError };
+
+std::string_view to_string(Severity severity);
+
+// ---- Error codes (a repo invariant is broken) ------------------------------
+inline constexpr std::string_view kNondetRandom = "D001";
+inline constexpr std::string_view kWallClock = "D002";
+inline constexpr std::string_view kUnorderedContainer = "D003";
+inline constexpr std::string_view kManualSpanEvent = "D004";
+inline constexpr std::string_view kLossyFloatFormat = "D005";
+inline constexpr std::string_view kRawMutex = "D006";
+inline constexpr std::string_view kNonLiteralSpanName = "D007";
+inline constexpr std::string_view kBareSuppression = "D008";
+
+// ---- Warning codes (legal but suspicious) ----------------------------------
+inline constexpr std::string_view kRandomHeader = "D101";
+inline constexpr std::string_view kUnguardedMutexMember = "D102";
+inline constexpr std::string_view kBadSpanName = "D103";
+inline constexpr std::string_view kEndlFlush = "D104";
+
+struct Finding {
+  std::string code;  // one of the D0xx/D1xx constants above
+  Severity severity = Severity::kError;
+  std::string path;       // file the finding is in (as passed to scan_file)
+  std::size_t line = 0;   // 1-based
+  std::string message;
+  std::string hint;  // actionable suggestion; may be empty
+
+  /// "src/core/foo.cpp:12: D001 error: ...; hint: ...".
+  std::string to_string() const;
+};
+
+struct CheckInfo {
+  std::string_view code;
+  Severity severity;
+  std::string_view summary;
+};
+
+/// The full catalog, errors first (for --list-checks and the docs test).
+std::vector<CheckInfo> check_catalog();
+
+/// Scan one file's contents. `path` drives the path-sensitive rules; it
+/// is matched on its repo-relative suffix, so absolute paths work, and a
+/// prefix ending in "tests/lint_fixtures/" is stripped first (fixtures
+/// mirror the real tree underneath that directory).
+std::vector<Finding> scan_file(std::string_view path, std::string_view content);
+
+/// Recursively scan every .h/.hpp/.cc/.cpp file under each root (a root
+/// may also be a single file). Skips build*/ and hidden directories.
+/// Returns findings sorted by (path, line). I/O failures are reported in
+/// `*error` (set to an explanatory message; the scan still covers every
+/// readable file).
+std::vector<Finding> scan_paths(const std::vector<std::string>& roots,
+                                std::string* error);
+
+bool has_errors(const std::vector<Finding>& findings);
+
+}  // namespace adml_lint

@@ -1,0 +1,82 @@
+// adml-lint CLI. Usage:
+//
+//   adml-lint [--werror] [--list-checks] <path>...
+//
+// Scans each path (file or directory, recursively) and prints findings
+// one per line. Exit status: 0 clean (or warnings only), 1 when any
+// error-severity finding fired (or any finding under --werror), 2 on
+// usage / I/O problems.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int list_checks() {
+  std::printf("adml-lint checks:\n");
+  for (const adml_lint::CheckInfo& check : adml_lint::check_catalog()) {
+    std::printf("  %s  %-7s  %s\n", std::string(check.code).c_str(),
+                std::string(adml_lint::to_string(check.severity)).c_str(),
+                std::string(check.summary).c_str());
+  }
+  std::printf(
+      "\nsuppress a finding with an inline justification on the same "
+      "line:\n  // adml-lint: allow(D003 lookup-only, never iterated)\n");
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--werror] [--list-checks] <path>...\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") return list_checks();
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  std::string io_error;
+  const std::vector<adml_lint::Finding> findings =
+      adml_lint::scan_paths(roots, &io_error);
+  if (!io_error.empty()) {
+    std::fprintf(stderr, "adml-lint: %s", io_error.c_str());
+    return 2;
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const adml_lint::Finding& finding : findings) {
+    if (finding.severity == adml_lint::Severity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+    std::printf("%s\n", finding.to_string().c_str());
+  }
+  if (errors + warnings > 0) {
+    std::printf("adml-lint: %zu error(s), %zu warning(s)\n", errors,
+                warnings);
+  }
+  const bool fail = errors > 0 || (werror && warnings > 0);
+  return fail ? 1 : 0;
+}
