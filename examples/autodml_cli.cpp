@@ -14,6 +14,8 @@
 //              [--no-early-term] [--session=FILE] [--resume=FILE]
 //              [--journal=FILE] [--faults=off|light|heavy] [--retries=N]
 //              [--demo] [--trace=FILE] [--metrics=FILE]
+//              [--refit-every=K] [--surrogate-backend=auto|exact|rff]
+//              [--rff-features=M]
 //                                  run the tuner; optionally persist/resume.
 //                                  --journal appends every trial to a
 //                                  crash-safe journal: rerunning the same
@@ -294,6 +296,30 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
       core::acquisition_from_string(args.get("acquisition", "logei"));
   options.early_term.enabled = !args.get_bool("no-early-term", false);
   options.journal_path = args.get("journal", "");
+  // Surrogate scaling knobs (see DESIGN.md §6h): hyperopt cadence and the
+  // regression backend serving the GPs.
+  options.surrogate.hyperopt_every = static_cast<int>(
+      args.get_int("refit-every", options.surrogate.hyperopt_every));
+  if (options.surrogate.hyperopt_every < 1) {
+    std::fprintf(stderr, "--refit-every must be >= 1\n");
+    return 1;
+  }
+  const std::string backend_name = args.get("surrogate-backend", "auto");
+  if (backend_name == "exact") {
+    options.surrogate.backend = core::SurrogateBackend::kExact;
+  } else if (backend_name == "rff") {
+    options.surrogate.backend = core::SurrogateBackend::kRff;
+  } else if (backend_name != "auto") {
+    std::fprintf(stderr, "unknown --surrogate-backend=%s (auto|exact|rff)\n",
+                 backend_name.c_str());
+    return 1;
+  }
+  options.surrogate.rff_features = static_cast<int>(
+      args.get_int("rff-features", options.surrogate.rff_features));
+  if (options.surrogate.rff_features < 1) {
+    std::fprintf(stderr, "--rff-features must be >= 1\n");
+    return 1;
+  }
   if (args.has("resume")) {
     options.warm_start =
         core::load_trials(args.get("resume", ""), evaluator.space());

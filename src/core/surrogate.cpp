@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 
+#include "gp/rff.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,11 +18,21 @@ std::unique_ptr<gp::GaussianProcess> make_gp(std::size_t dim,
       std::make_unique<gp::Matern52Ard>(dim), options);
 }
 
+std::unique_ptr<gp::RffRegressor> make_rff(std::size_t dim,
+                                           const SurrogateOptions& options,
+                                           std::uint64_t feature_seed) {
+  gp::RffOptions rff;
+  rff.num_features = options.rff_features;
+  rff.gp = options.gp;
+  return std::make_unique<gp::RffRegressor>(
+      std::make_unique<gp::Matern52Ard>(dim), rff, feature_seed);
+}
+
 }  // namespace
 
 SurrogateModel::SurrogateModel(const conf::ConfigSpace& space,
                                SurrogateOptions options, std::uint64_t seed)
-    : space_(&space), options_(options), rng_(seed) {}
+    : space_(&space), options_(options), rng_(seed), seed_(seed) {}
 
 void SurrogateModel::update(std::span<const Trial> trials) {
   ADML_SPAN("surrogate.update");
@@ -56,12 +68,19 @@ void SurrogateModel::update(std::span<const Trial> trials) {
     }
   }
 
-  const bool full_hyperopt =
-      (updates_since_hyperopt_ % std::max(1, options_.hyperopt_every)) == 0;
+  // Refit scheduling: a full hyperparameter optimization runs every
+  // hyperopt_every updates (and always on the first fit of a model);
+  // between rounds the evidence trigger below can force one early.
   ++updates_since_hyperopt_;
+  const bool first_fit = !objective_gp_ || !objective_gp_->is_fitted();
+  bool full_hyperopt =
+      first_fit ||
+      updates_since_hyperopt_ >= std::max(1, options_.hyperopt_every);
 
-  fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, full_hyperopt);
-  fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, full_hyperopt);
+  fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, full_hyperopt,
+                /*role_salt=*/0);
+  fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, full_hyperopt,
+                /*role_salt=*/1);
 
   // Feasibility model only earns its keep once failures exist; a constant
   // label vector would just burn a GP fit.
@@ -72,25 +91,87 @@ void SurrogateModel::update(std::span<const Trial> trials) {
                      : 1.0 - failures / static_cast<double>(feas_y.size());
   if (failures > 0 && feas_y.size() >= 3) {
     fit_or_append(feasibility_gp_, feasibility_cache_, all_x, feas_y,
-                  full_hyperopt);
+                  full_hyperopt, /*role_salt=*/2);
   } else {
     feasibility_gp_.reset();
     feasibility_cache_ = {};
   }
+
+  // Evidence-based trigger: the per-point negative LML is memoized state
+  // the incremental paths keep current, so this costs O(1). When stale
+  // hyperparameters stop explaining the growing data set — degradation
+  // beyond the configured budget in nats/point — a full hyperopt runs now
+  // instead of waiting out the schedule.
+  if (!full_hyperopt && options_.refit_nlml_degradation > 0.0 &&
+      baseline_valid_ && objective_gp_ && objective_gp_->is_fitted()) {
+    const double nlml_per_point =
+        -objective_gp_->log_marginal_likelihood() /
+        static_cast<double>(objective_gp_->num_points());
+    if (nlml_per_point - baseline_nlml_per_point_ >
+        options_.refit_nlml_degradation) {
+      ADML_COUNT("surrogate.refit_evidence", 1);
+      full_hyperopt = true;
+      fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, true, 0);
+      fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, true, 1);
+      if (feasibility_gp_) {
+        fit_or_append(feasibility_gp_, feasibility_cache_, all_x, feas_y,
+                      true, 2);
+      }
+    }
+  }
+
+  if (full_hyperopt) {
+    updates_since_hyperopt_ = 0;
+    ADML_COUNT("surrogate.hyperopt_scheduled", 1);
+    if (objective_gp_ && objective_gp_->is_fitted()) {
+      baseline_nlml_per_point_ =
+          -objective_gp_->log_marginal_likelihood() /
+          static_cast<double>(objective_gp_->num_points());
+      baseline_valid_ = true;
+    } else {
+      baseline_valid_ = false;
+    }
+  } else {
+    ADML_COUNT("surrogate.refit_skipped", 1);
+  }
+  ADML_GAUGE_SET("surrogate.backend",
+                 objective_gp_ && std::string_view(
+                                      objective_gp_->backend_name()) == "rff"
+                     ? 1
+                     : 0);
 
   if (!real_y.empty()) {
     incumbent_log_ = *std::min_element(real_y.begin(), real_y.end());
   }
 }
 
+const char* SurrogateModel::objective_backend() const {
+  return objective_gp_ ? objective_gp_->backend_name() : nullptr;
+}
+
 void SurrogateModel::fit_or_append(
-    std::unique_ptr<gp::GaussianProcess>& model, TrainCache& cache,
+    std::unique_ptr<gp::Regressor>& model, TrainCache& cache,
     const std::vector<math::Vec>& xs, const std::vector<double>& ys,
-    bool full_hyperopt) {
+    bool full_hyperopt, std::uint64_t role_salt) {
   if (xs.size() < 2) {
     model.reset();
     cache = {};
     return;
+  }
+  // Backend selection. kAuto hands a model to the RFF approximation once
+  // its training set crosses the threshold; a switch discards the old
+  // model and fits the replacement from scratch (hyperopt included — the
+  // fresh backend should not inherit a cold start).
+  const bool want_rff =
+      options_.backend == SurrogateBackend::kRff ||
+      (options_.backend == SurrogateBackend::kAuto &&
+       xs.size() >= options_.rff_threshold);
+  bool switched = false;
+  if (model &&
+      (std::string_view(model->backend_name()) == "rff") != want_rff) {
+    model.reset();
+    switched = true;
+    ADML_COUNT("surrogate.backend_switches", 1);
   }
   // Incremental path: unchanged hyperparameters (not a hyperopt round) and
   // the new training set is the old one plus exactly one appended row.
@@ -109,8 +190,20 @@ void SurrogateModel::fit_or_append(
     for (std::size_t i = 0; i < xs.size(); ++i) {
       std::copy(xs[i].begin(), xs[i].end(), x.row(i).begin());
     }
-    if (!model) model = make_gp(dim, options_.gp);
-    if (full_hyperopt) {
+    const bool fresh = model == nullptr;
+    if (fresh) {
+      if (want_rff) {
+        // Spectral feature draws come from the surrogate seed and the
+        // model's role, not from rng_: creating an RFF model must not
+        // shift the random stream the exact path consumes, or enabling
+        // the backend would perturb unrelated proposals.
+        std::uint64_t state = seed_ + 0x52464600ULL + role_salt;
+        model = make_rff(dim, options_, util::splitmix64(state));
+      } else {
+        model = make_gp(dim, options_.gp);
+      }
+    }
+    if (full_hyperopt || switched) {
       model->fit(x, ys, rng_);
     } else {
       model->refit(x, ys);

@@ -24,13 +24,34 @@
 
 namespace autodml::core {
 
+enum class SurrogateBackend {
+  kAuto,   // exact GP below rff_threshold points, RFF at or above it
+  kExact,  // always the exact GaussianProcess
+  kRff,    // always the random-Fourier-feature approximation
+};
+
 struct SurrogateOptions {
   /// Refit GP hyperparameters every k updates (1 = always). Factorization
   /// with existing hyperparameters happens on every update regardless.
   /// Between hyperopt rounds, an update that appends exactly one trial to a
-  /// GP's training set takes the O(n^2) rank-1 path (incremental Cholesky
-  /// append) instead of the O(n^3) refactorization.
+  /// GP's training set takes the backend's incremental path (O(n^2) rank-1
+  /// Cholesky append on the exact GP, O(nm + m^3) feature-Gram update on
+  /// RFF) instead of a full refit.
   int hyperopt_every = 1;
+  /// Evidence-based trigger: between scheduled rounds, a full hyperopt
+  /// fires anyway when the objective model's per-point negative log
+  /// marginal likelihood has degraded by more than this many nats since
+  /// the last hyperopt (stale hyperparameters stop explaining the data).
+  /// <= 0 disables the trigger.
+  double refit_nlml_degradation = 0.1;
+  /// Which regression backend serves each GP.
+  SurrogateBackend backend = SurrogateBackend::kAuto;
+  /// kAuto: a model switches to the RFF backend once its training set
+  /// reaches this many points (full refit cost drops from O(n^3) to
+  /// O(n m^2 + m^3)).
+  std::size_t rff_threshold = 1024;
+  /// Number of random Fourier features m for the RFF backend.
+  int rff_features = 256;
   gp::GpOptions gp;
 };
 
@@ -64,26 +85,36 @@ class SurrogateModel {
 
   const conf::ConfigSpace& space() const { return *space_; }
 
+  /// Backend currently serving the objective model ("exact"/"rff"), or
+  /// nullptr before the first fit. Diagnostics/testing surface.
+  const char* objective_backend() const;
+
  private:
-  /// Training set a GP was last fitted on; lets update() detect the
-  /// append-one-trial case and take the O(n^2) incremental path.
+  /// Training set a model was last fitted on; lets update() detect the
+  /// append-one-trial case and take the incremental path.
   struct TrainCache {
     std::vector<math::Vec> xs;
     std::vector<double> ys;
   };
 
-  void fit_or_append(std::unique_ptr<gp::GaussianProcess>& model,
-                     TrainCache& cache, const std::vector<math::Vec>& xs,
-                     const std::vector<double>& ys, bool full_hyperopt);
+  void fit_or_append(std::unique_ptr<gp::Regressor>& model, TrainCache& cache,
+                     const std::vector<math::Vec>& xs,
+                     const std::vector<double>& ys, bool full_hyperopt,
+                     std::uint64_t role_salt);
 
   const conf::ConfigSpace* space_;
   SurrogateOptions options_;
   util::Rng rng_;
+  std::uint64_t seed_;
   int updates_since_hyperopt_ = 0;
+  /// Objective model's per-point negative LML recorded at the last
+  /// hyperopt; reference for the evidence-based refit trigger.
+  double baseline_nlml_per_point_ = 0.0;
+  bool baseline_valid_ = false;
 
-  std::unique_ptr<gp::GaussianProcess> objective_gp_;
-  std::unique_ptr<gp::GaussianProcess> feasibility_gp_;
-  std::unique_ptr<gp::GaussianProcess> cost_gp_;
+  std::unique_ptr<gp::Regressor> objective_gp_;
+  std::unique_ptr<gp::Regressor> feasibility_gp_;
+  std::unique_ptr<gp::Regressor> cost_gp_;
   TrainCache objective_cache_;
   TrainCache feasibility_cache_;
   TrainCache cost_cache_;

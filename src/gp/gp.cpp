@@ -151,7 +151,7 @@ void GaussianProcess::factorize() {
 }
 
 void GaussianProcess::refit(const math::Matrix& x, std::span<const double> y) {
-  ADML_SPAN("gp.refit");
+  ADML_SPAN("gp.refit", "n", static_cast<std::int64_t>(x.rows()));
   if (x.rows() != y.size())
     throw std::invalid_argument("GaussianProcess: X/y size mismatch");
   if (x.rows() == 0)
@@ -180,7 +180,7 @@ void GaussianProcess::refit(const math::Matrix& x, std::span<const double> y) {
 }
 
 bool GaussianProcess::append_observation(std::span<const double> x, double y) {
-  ADML_SPAN("gp.append");
+  ADML_SPAN("gp.append", "n", static_cast<std::int64_t>(targets_raw_.size()));
   if (!factor_)
     throw std::logic_error("GaussianProcess: append_observation before fit");
   if (x.size() != kernel_->input_dim())
@@ -243,7 +243,10 @@ bool GaussianProcess::append_observation(std::span<const double> x, double y) {
       }
       gram(i, i) += noise_var + factor_->jitter;
     }
-    const auto full = math::cholesky(gram);
+    // Compare against the scalar path specifically: append_row replays its
+    // recurrence bit-for-bit, while the blocked path (which cholesky()
+    // would dispatch to at this size) differs in summation order.
+    const auto full = math::cholesky_scalar(gram);
     AUTODML_CHECK(full.has_value(),
                   "GP incremental update: full factorization failed where "
                   "the rank-1 append succeeded");
@@ -259,10 +262,10 @@ bool GaussianProcess::append_observation(std::span<const double> x, double y) {
 
 void GaussianProcess::fit(const math::Matrix& x, std::span<const double> y,
                           util::Rng& rng) {
-  ADML_SPAN("gp.fit");
+  ADML_SPAN("gp.fit", "n", static_cast<std::int64_t>(x.rows()));
   refit(x, y);
   if (!options_.optimize_hyperparams || y.size() < 3) return;
-  ADML_SPAN("gp.hyperopt");
+  ADML_SPAN("gp.hyperopt", "n", static_cast<std::int64_t>(x.rows()));
   ADML_COUNT("gp.hyperopt_rounds", 1);
 
   auto [kernel_lo, kernel_hi] = kernel_->hyper_bounds();

@@ -3,15 +3,17 @@
 // The tuner's surrogate. Targets are standardized internally; the noise
 // variance is a hyperparameter fitted jointly with the kernel's by maximizing
 // the log marginal likelihood (analytic gradients + multi-start Adam, with a
-// Nelder-Mead polish). History sizes in configuration tuning are small
-// (tens to a few hundred points), so exact O(n^3) inference is the right
-// trade-off — no sparse approximations.
+// Nelder-Mead polish). History sizes in configuration tuning are usually
+// small (tens to a few hundred points), where exact O(n^3) inference is the
+// right trade-off; past the SurrogateModel threshold the stack switches to
+// the random-Fourier-feature approximation in rff.h.
 #pragma once
 
 #include <memory>
 #include <optional>
 
 #include "gp/kernel.h"
+#include "gp/regressor.h"
 #include "math/cholesky.h"
 #include "math/matrix.h"
 #include "math/optimize.h"
@@ -30,12 +32,7 @@ struct GpOptions {
   double initial_noise = 1e-2;
 };
 
-struct GpPrediction {
-  double mean = 0.0;
-  double variance = 0.0;  // latent (noise-free) predictive variance
-};
-
-class GaussianProcess {
+class GaussianProcess final : public Regressor {
  public:
   GaussianProcess(std::unique_ptr<Kernel> kernel, GpOptions options = {});
 
@@ -44,11 +41,12 @@ class GaussianProcess {
 
   /// Fit on rows of X (n x dim) with targets y (n). Optimizes
   /// hyperparameters unless disabled, then factorizes.
-  void fit(const math::Matrix& x, std::span<const double> y, util::Rng& rng);
+  void fit(const math::Matrix& x, std::span<const double> y,
+           util::Rng& rng) override;
 
   /// Replace the data but keep current hyperparameters (cheap refit used
   /// between full re-optimizations).
-  void refit(const math::Matrix& x, std::span<const double> y);
+  void refit(const math::Matrix& x, std::span<const double> y) override;
 
   /// Incremental update: append one observation, extending the existing
   /// Cholesky factor in O(n^2) instead of refactorizing (O(n^3)).
@@ -59,20 +57,21 @@ class GaussianProcess {
   /// (the model is consistent either way). In AUTODML_CHECKED builds the
   /// incremental factor is cross-verified against a from-scratch
   /// factorization of the same jittered Gram matrix.
-  bool append_observation(std::span<const double> x, double y);
+  bool append_observation(std::span<const double> x, double y) override;
 
-  bool is_fitted() const { return factor_.has_value(); }
-  std::size_t num_points() const { return targets_raw_.size(); }
+  bool is_fitted() const override { return factor_.has_value(); }
+  std::size_t num_points() const override { return targets_raw_.size(); }
 
-  GpPrediction predict(std::span<const double> x) const;
+  GpPrediction predict(std::span<const double> x) const override;
 
   /// Log marginal likelihood of the current fit (standardized target units).
-  double log_marginal_likelihood() const;
+  double log_marginal_likelihood() const override;
 
   /// Fitted noise variance, in *raw* target units.
-  double noise_variance() const;
+  double noise_variance() const override;
 
-  const Kernel& kernel() const { return *kernel_; }
+  const Kernel& kernel() const override { return *kernel_; }
+  const char* backend_name() const override { return "exact"; }
 
   struct LmlResult {
     double value;

@@ -1,8 +1,12 @@
 #include "math/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "obs/trace.h"
 
 namespace autodml::math {
 
@@ -80,13 +84,13 @@ Matrix CholeskyFactor::lower_inverse() const {
 
 namespace {
 
-// Shared factorization core. On failure, `bad_pivot`/`bad_diag` (when
-// non-null) receive the row whose pivot went non-positive or non-finite and
-// the value it reached — the caller's error message names the culprit
-// instead of reporting a bare "not positive definite".
-std::optional<CholeskyFactor> cholesky_impl(const Matrix& a,
-                                            std::size_t* bad_pivot,
-                                            double* bad_diag) {
+// Shared failure reporting: `bad_pivot`/`bad_diag` (when non-null) receive
+// the row whose pivot went non-positive or non-finite and the value it
+// reached — the caller's error message names the culprit instead of
+// reporting a bare "not positive definite".
+std::optional<CholeskyFactor> scalar_impl(const Matrix& a,
+                                          std::size_t* bad_pivot,
+                                          double* bad_diag) {
   if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: not square");
   check_finite(a, "cholesky input");
   const std::size_t n = a.rows();
@@ -110,10 +114,145 @@ std::optional<CholeskyFactor> cholesky_impl(const Matrix& a,
   return CholeskyFactor{std::move(l), 0.0};
 }
 
+/// Four-accumulator dot product over contiguous slices. The split
+/// accumulation order is fixed (deterministic across platforms and runs)
+/// and exposes instruction-level parallelism the strict single-accumulator
+/// reduction denies the compiler without -ffast-math.
+double dot4(const double* a, const double* b, std::size_t m) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t t = 0;
+  for (; t + 4 <= m; t += 4) {
+    s0 += a[t] * b[t];
+    s1 += a[t + 1] * b[t + 1];
+    s2 += a[t + 2] * b[t + 2];
+    s3 += a[t + 3] * b[t + 3];
+  }
+  for (; t < m; ++t) s0 += a[t] * b[t];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Blocked right-looking factorization, in place on the lower triangle of
+/// `l` (which on entry holds a full copy of A). For each panel of `block`
+/// columns: factor the diagonal block (scalar recurrence over in-panel
+/// columns only — earlier panels already folded their updates in), solve
+/// the panel below it, then rank-`block` update the trailing submatrix.
+///
+/// The trailing update — asymptotically all of the work — is a SYRK
+/// (A22 -= L21 L21^T) over the solved panel. Reading the panel slices out
+/// of the full matrix would touch one 4 KiB page per row (stride = n
+/// doubles), so the panel is first packed into a contiguous scratch
+/// buffer; the update then walks dense kb-length rows. Tiling the j loop
+/// keeps a kJTile-row chunk of the packed panel L1-resident while each
+/// row i streams past it, so every packed byte is reused kJTile times per
+/// pass instead of evicted between dots.
+bool blocked_impl_in_place(Matrix& l, std::size_t block,
+                           std::size_t* bad_pivot, double* bad_diag) {
+  const std::size_t n = l.rows();
+  double* data = l.data().data();
+  const auto row_at = [&](std::size_t i) { return data + i * n; };
+  // Packed-panel rows resident per j-tile: 32 rows x 64 cols x 8 B = 16 KiB,
+  // half a typical L1d, leaving room for the streaming i rows.
+  constexpr std::size_t kJTile = 32;
+  std::vector<double> pack;
+  pack.reserve(n * std::min(block, n));
+  for (std::size_t k = 0; k < n; k += block) {
+    const std::size_t kb = std::min(block, n - k);
+    // Diagonal block: columns [k, k+kb) over rows [k, k+kb).
+    for (std::size_t j = k; j < k + kb; ++j) {
+      double* rj = row_at(j);
+      double diag = rj[j] - dot4(rj + k, rj + k, j - k);
+      if (diag <= 0.0 || !std::isfinite(diag)) {
+        if (bad_pivot != nullptr) *bad_pivot = j;
+        if (bad_diag != nullptr) *bad_diag = diag;
+        return false;
+      }
+      const double ljj = std::sqrt(diag);
+      rj[j] = ljj;
+      for (std::size_t i = j + 1; i < k + kb; ++i) {
+        double* ri = row_at(i);
+        ri[j] = (ri[j] - dot4(ri + k, rj + k, j - k)) / ljj;
+      }
+    }
+    // Panel solve: rows [k+kb, n) against the freshly factored block.
+    for (std::size_t i = k + kb; i < n; ++i) {
+      double* ri = row_at(i);
+      for (std::size_t j = k; j < k + kb; ++j) {
+        const double* rj = row_at(j);
+        ri[j] = (ri[j] - dot4(ri + k, rj + k, j - k)) / rj[j];
+      }
+    }
+    // Pack the solved panel L21 (rows [k+kb, n), cols [k, k+kb)) densely.
+    const std::size_t base = k + kb;
+    const std::size_t trailing = n - base;
+    pack.resize(trailing * kb);
+    for (std::size_t i = base; i < n; ++i) {
+      const double* src = row_at(i) + k;
+      std::copy(src, src + kb, pack.data() + (i - base) * kb);
+    }
+    // Trailing update: A22 -= L21 L21^T, lower triangle only, j-tiled over
+    // the packed panel. Each entry is one dot4 over the two packed rows,
+    // so the per-entry summation order is independent of the tile shape.
+    for (std::size_t jt = base; jt < n; jt += kJTile) {
+      const std::size_t jt_end = std::min(jt + kJTile, n);
+      for (std::size_t i = jt; i < n; ++i) {
+        double* ri = row_at(i);
+        const double* pi = pack.data() + (i - base) * kb;
+        const std::size_t j_max = std::min(jt_end, i + 1);
+        for (std::size_t j = jt; j < j_max; ++j) {
+          ri[j] -= dot4(pi, pack.data() + (j - base) * kb, kb);
+        }
+      }
+    }
+  }
+  // The factorization only ever read/wrote the lower triangle; clear the
+  // copied-in upper half so the factor matches the scalar path's layout.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* ri = row_at(i);
+    for (std::size_t j = i + 1; j < n; ++j) ri[j] = 0.0;
+  }
+  return true;
+}
+
+std::optional<CholeskyFactor> blocked_impl(const Matrix& a, std::size_t block,
+                                           std::size_t* bad_pivot,
+                                           double* bad_diag) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: not square");
+  if (block == 0) throw std::invalid_argument("cholesky: zero block size");
+  check_finite(a, "cholesky input");
+  ADML_SPAN("math.cholesky_blocked", "n",
+            static_cast<std::int64_t>(a.rows()));
+  Matrix l = a;
+  if (!blocked_impl_in_place(l, block, bad_pivot, bad_diag)) {
+    return std::nullopt;
+  }
+  return CholeskyFactor{std::move(l), 0.0};
+}
+
+// Size dispatch shared by cholesky() and the jitter loop: the scalar path
+// below the threshold (bit-compatible with append_row's recurrence), the
+// blocked path above it.
+std::optional<CholeskyFactor> cholesky_impl(const Matrix& a,
+                                            std::size_t* bad_pivot,
+                                            double* bad_diag) {
+  if (a.rows() >= kCholeskyBlockedThreshold) {
+    return blocked_impl(a, kCholeskyBlock, bad_pivot, bad_diag);
+  }
+  return scalar_impl(a, bad_pivot, bad_diag);
+}
+
 }  // namespace
 
 std::optional<CholeskyFactor> cholesky(const Matrix& a) {
   return cholesky_impl(a, nullptr, nullptr);
+}
+
+std::optional<CholeskyFactor> cholesky_scalar(const Matrix& a) {
+  return scalar_impl(a, nullptr, nullptr);
+}
+
+std::optional<CholeskyFactor> cholesky_blocked(const Matrix& a,
+                                               std::size_t block) {
+  return blocked_impl(a, block, nullptr, nullptr);
 }
 
 CholeskyFactor cholesky_with_jitter(const Matrix& a, double initial_jitter,

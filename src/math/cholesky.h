@@ -3,6 +3,16 @@
 // The GP posterior and log-marginal-likelihood both reduce to solves against
 // K + sigma^2 I. Kernel matrices are only *numerically* SPD, so the factory
 // retries with geometrically increasing diagonal jitter before giving up.
+//
+// Two factorization paths share one contract (lower factor, jitter carried
+// by the caller, nullopt on a non-positive pivot):
+//   - a scalar left-looking loop, the reference implementation whose exact
+//     operation order the rank-1 append_row reproduces;
+//   - a cache-blocked right-looking factorization for large matrices
+//     (panel factor + tiled trailing-submatrix update), selected by
+//     cholesky()/cholesky_with_jitter() past kCholeskyBlockedThreshold.
+// The two differ only in floating-point summation order; both are
+// deterministic and single-threaded, and tests bound their divergence.
 #pragma once
 
 #include <optional>
@@ -10,6 +20,14 @@
 #include "math/matrix.h"
 
 namespace autodml::math {
+
+/// Matrices at least this large factorize through the blocked path.
+inline constexpr std::size_t kCholeskyBlockedThreshold = 128;
+
+/// Tile edge of the blocked factorization: panels of kCholeskyBlock
+/// columns, trailing updates on kCholeskyBlock-deep strips (64 columns =
+/// 32 KiB per row strip, two strips resident in a typical L1d).
+inline constexpr std::size_t kCholeskyBlock = 64;
 
 struct CholeskyFactor {
   Matrix lower;        // L such that L * L^T = A (+ jitter*I)
@@ -27,9 +45,11 @@ struct CholeskyFactor {
   /// Rank-1 append: extend the factor of an n x n matrix A to the factor of
   /// [[A, b], [b^T, c]] in O(n^2) — one forward solve for the new row plus a
   /// scalar pivot — instead of the O(n^3) refactorization. The stored jitter
-  /// is added to `c`, so the result is identical (bit-for-bit: the update
-  /// performs the same operations in the same order) to refactorizing the
-  /// jittered (n+1) x (n+1) matrix from scratch. Returns false and leaves
+  /// is added to `c`, so the result is identical to refactorizing the
+  /// jittered (n+1) x (n+1) matrix from scratch (bit-for-bit against the
+  /// *scalar* path, whose recurrence the append replays in the same order;
+  /// against the blocked path the difference is summation order only, the
+  /// same bound the blocked-vs-scalar tests pin). Returns false and leaves
   /// the factor unchanged when the new pivot is non-positive or non-finite,
   /// i.e. the extended matrix is not PD at this jitter; callers fall back to
   /// a full factorization.
@@ -42,7 +62,20 @@ struct CholeskyFactor {
 };
 
 /// Plain factorization; returns nullopt if A is not positive definite.
+/// Dispatches to the blocked path when a.rows() >= kCholeskyBlockedThreshold
+/// and to the scalar path below it.
 std::optional<CholeskyFactor> cholesky(const Matrix& a);
+
+/// Scalar left-looking factorization, any size. This is the operation
+/// order CholeskyFactor::append_row extends bit-for-bit.
+std::optional<CholeskyFactor> cholesky_scalar(const Matrix& a);
+
+/// Cache-blocked right-looking factorization, any size (block defaults to
+/// kCholeskyBlock; sizes that do not divide n are handled). Same
+/// non-PD contract as cholesky_scalar; results differ from the scalar
+/// path only in floating-point summation order.
+std::optional<CholeskyFactor> cholesky_blocked(
+    const Matrix& a, std::size_t block = kCholeskyBlock);
 
 /// Factorization with adaptive jitter: tries jitter = 0, then
 /// `initial_jitter * 10^k` for k = 0..max_tries-1 (scaled by mean diagonal).

@@ -53,13 +53,15 @@ void Tracer::clear() {
   }
 }
 
-void Tracer::record(const char* name, char ph) {
+void Tracer::record(const char* name, char ph, const char* a0,
+                    std::int64_t v0, const char* a1, std::int64_t v1) {
   ThreadBuffer& buffer = local_buffer();
   util::MutexLock lock(buffer.mu);
   // Timestamp under the buffer lock, after any queued export finished:
   // per-thread order equals program order, so timestamps are monotonic
   // within each tid.
-  buffer.events.push_back(TraceEvent{name, ph, now_ns()});
+  buffer.events.push_back(
+      TraceEvent{name, ph, now_ns(), {a0, a1}, {v0, v1}});
 }
 
 std::string Tracer::export_chrome_json() {
@@ -76,6 +78,16 @@ std::string Tracer::export_chrome_json() {
       obj.emplace("pid", util::JsonValue(1));
       obj.emplace("tid", util::JsonValue(static_cast<double>(buffer->tid)));
       if (e.ph == 'i') obj.emplace("s", util::JsonValue("t"));
+      if (e.arg_name[0] != nullptr) {
+        util::JsonObject args;
+        for (int a = 0; a < 2; ++a) {
+          if (e.arg_name[a] != nullptr) {
+            args.emplace(e.arg_name[a],
+                         util::JsonValue(static_cast<double>(e.arg_value[a])));
+          }
+        }
+        obj.emplace("args", util::JsonValue(std::move(args)));
+      }
       events.push_back(util::JsonValue(std::move(obj)));
     }
   }

@@ -37,6 +37,12 @@ struct TraceEvent {
   const char* name;       // static-lifetime string (see header comment)
   char ph;                // 'B' begin, 'E' end, 'i' instant
   std::int64_t ts_ns;     // steady-clock nanoseconds since process epoch
+  /// Up to two named integer arguments, exported as the Chrome "args"
+  /// object on 'B'/'i' events (e.g. the problem size a span covers, so a
+  /// Perfetto trace attributes cubic work to n). Names are static-lifetime
+  /// literals like the span name; nullptr slots are absent.
+  const char* arg_name[2] = {nullptr, nullptr};
+  std::int64_t arg_value[2] = {0, 0};
 };
 
 class Tracer {
@@ -58,7 +64,11 @@ class Tracer {
   /// Append one event to the calling thread's buffer. Unconditional: the
   /// enabled() gate lives at the instrumentation site so that a span
   /// opened while tracing was on can always close its 'E' event.
-  void record(const char* name, char ph) ADML_EXCLUDES(registry_mu_);
+  /// `a0`/`a1` name optional integer arguments recorded on the event
+  /// (nullptr = absent); names must be static-lifetime literals.
+  void record(const char* name, char ph, const char* a0 = nullptr,
+              std::int64_t v0 = 0, const char* a1 = nullptr,
+              std::int64_t v1 = 0) ADML_EXCLUDES(registry_mu_);
 
   /// Serialize everything buffered so far as a Chrome trace-event JSON
   /// document ({"traceEvents": [...]}). Every event carries the
@@ -96,7 +106,9 @@ class Tracer {
 
 /// RAII span. Emits 'B' on construction when the tracer is collecting and
 /// the matching 'E' on destruction (even if tracing stopped in between, so
-/// per-thread begin/end pairs always balance).
+/// per-thread begin/end pairs always balance). Up to two named integer
+/// arguments ride on the 'B' event — ADML_SPAN("gp.refit", "n", n) — so
+/// traces attribute super-linear work to the problem size that caused it.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
@@ -104,6 +116,21 @@ class ScopedSpan {
     if (tracer.enabled()) {
       name_ = name;
       tracer.record(name, 'B');
+    }
+  }
+  ScopedSpan(const char* name, const char* a0, std::int64_t v0) {
+    Tracer& tracer = Tracer::instance();
+    if (tracer.enabled()) {
+      name_ = name;
+      tracer.record(name, 'B', a0, v0);
+    }
+  }
+  ScopedSpan(const char* name, const char* a0, std::int64_t v0,
+             const char* a1, std::int64_t v1) {
+    Tracer& tracer = Tracer::instance();
+    if (tracer.enabled()) {
+      name_ = name;
+      tracer.record(name, 'B', a0, v0, a1, v1);
     }
   }
   ~ScopedSpan() {
@@ -128,10 +155,12 @@ inline void trace_instant(const char* name) {
 #define ADML_OBS_CONCAT(a, b) ADML_OBS_CONCAT_INNER(a, b)
 
 #ifdef AUTODML_NO_OBS
-#define ADML_SPAN(name) ((void)0)
+#define ADML_SPAN(...) ((void)0)
 #define ADML_TRACE_INSTANT(name) ((void)0)
 #else
-#define ADML_SPAN(name) \
-  ::autodml::obs::ScopedSpan ADML_OBS_CONCAT(adml_span_, __LINE__)(name)
+/// ADML_SPAN("name") or ADML_SPAN("name", "arg", value[, "arg2", value2]).
+/// The first argument must be a string literal (lint rule D007).
+#define ADML_SPAN(...) \
+  ::autodml::obs::ScopedSpan ADML_OBS_CONCAT(adml_span_, __LINE__)(__VA_ARGS__)
 #define ADML_TRACE_INSTANT(name) ::autodml::obs::trace_instant(name)
 #endif

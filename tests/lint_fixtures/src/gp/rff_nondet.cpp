@@ -1,0 +1,27 @@
+// Fixture: determinism violations on the approximate-surrogate path.
+// Never compiled — scanned by lint_tool_test. Mirrors the shapes a naive
+// RFF/refit-scheduling implementation would reach for: timing refits with
+// a wall clock and caching feature rows in hash containers whose
+// iteration order would leak into proposals.
+#include <unordered_map>  // expect(D003)
+
+namespace fixture {
+
+double refit_deadline_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())  // expect(D002)
+      .count();
+}
+
+bool should_refit(double last_refit) {
+  const auto now = std::chrono::steady_clock::now();  // expect(D002)
+  (void)now;
+  return last_refit > 0.0;
+}
+
+double cached_feature(int key) {
+  std::unordered_map<int, double> feature_cache;  // expect(D003)
+  return feature_cache[key];
+}
+
+}  // namespace fixture

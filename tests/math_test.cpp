@@ -171,6 +171,111 @@ TEST(Cholesky, JitterFailureNamesOffendingPivot) {
   }
 }
 
+// ---- Blocked Cholesky ---------------------------------------------------------
+
+// The scalar and blocked paths compute the same factor up to floating-point
+// summation order. For a well-conditioned SPD matrix with O(n)-scale entries
+// the reordering error is ~ n * eps * ||A|| ≈ 200 * 2.2e-16 * O(10²) ≈ 1e-11;
+// the 1e-9 bound leaves two orders of slack without ever admitting an
+// algorithmic divergence (those show up at O(1)).
+TEST(CholeskyBlocked, MatchesScalarWithinReorderingTolerance) {
+  util::Rng rng(11);
+  for (const std::size_t n : {130u, 200u, 257u}) {  // none divide the block
+    const Matrix a = random_spd(n, rng);
+    const auto scalar = cholesky_scalar(a);
+    const auto blocked = cholesky_blocked(a);
+    ASSERT_TRUE(scalar.has_value()) << n;
+    ASSERT_TRUE(blocked.has_value()) << n;
+    EXPECT_LT(Matrix::max_abs_diff(scalar->lower, blocked->lower), 1e-9) << n;
+    const Matrix rebuilt = blocked->lower.matmul(blocked->lower.transposed());
+    EXPECT_LT(Matrix::max_abs_diff(rebuilt, a), 1e-7) << n;
+  }
+}
+
+TEST(CholeskyBlocked, SmallBlockSizesExerciseEveryPanelShape) {
+  util::Rng rng(12);
+  const Matrix a = random_spd(23, rng);
+  const auto scalar = cholesky_scalar(a);
+  ASSERT_TRUE(scalar.has_value());
+  for (const std::size_t block : {1u, 2u, 3u, 7u, 23u, 64u}) {
+    const auto blocked = cholesky_blocked(a, block);
+    ASSERT_TRUE(blocked.has_value()) << "block=" << block;
+    EXPECT_LT(Matrix::max_abs_diff(scalar->lower, blocked->lower), 1e-10)
+        << "block=" << block;
+  }
+}
+
+TEST(CholeskyBlocked, DispatchUsesBlockedPathPastThreshold) {
+  // cholesky() must produce bit-identical factors to the path it dispatches
+  // to on either side of the threshold — the dispatch is a pure selector.
+  util::Rng rng(13);
+  const Matrix small = random_spd(kCholeskyBlockedThreshold - 1, rng);
+  const Matrix large = random_spd(kCholeskyBlockedThreshold, rng);
+  const auto via_dispatch_small = cholesky(small);
+  const auto via_scalar = cholesky_scalar(small);
+  ASSERT_TRUE(via_dispatch_small.has_value() && via_scalar.has_value());
+  EXPECT_EQ(Matrix::max_abs_diff(via_dispatch_small->lower,
+                                 via_scalar->lower),
+            0.0);
+  const auto via_dispatch_large = cholesky(large);
+  const auto via_blocked = cholesky_blocked(large);
+  ASSERT_TRUE(via_dispatch_large.has_value() && via_blocked.has_value());
+  EXPECT_EQ(Matrix::max_abs_diff(via_dispatch_large->lower,
+                                 via_blocked->lower),
+            0.0);
+}
+
+TEST(CholeskyBlocked, RejectsIndefiniteLargeMatrix) {
+  // Indefinite matrix big enough to route through the blocked path, with
+  // the negative direction buried in the trailing submatrix so the panel
+  // recurrence (not input validation) must catch it.
+  util::Rng rng(14);
+  Matrix m = random_spd(160, rng);
+  m(150, 150) = -1e4;
+  EXPECT_FALSE(cholesky(m).has_value());
+  EXPECT_FALSE(cholesky_blocked(m).has_value());
+}
+
+TEST(CholeskyBlocked, JitterRescuesNearSingularLargeMatrix) {
+  // Rank-deficient Gram matrix (n points in a 3-dim feature space) above
+  // the blocked threshold: plain factorization fails, the jitter ladder in
+  // cholesky_with_jitter succeeds through the blocked path, and the factor
+  // reconstructs the jittered matrix.
+  const std::size_t n = 140;
+  util::Rng rng(15);
+  Matrix feats(n, 3);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < 3; ++j) feats(i, j) = rng.normal();
+  const Matrix gram = feats.matmul(feats.transposed());  // rank 3
+  EXPECT_FALSE(cholesky(gram).has_value());
+  const CholeskyFactor f = cholesky_with_jitter(gram);
+  EXPECT_GT(f.jitter, 0.0);
+  Matrix target = gram;
+  target.add_to_diagonal(f.jitter);
+  const Matrix rebuilt = f.lower.matmul(f.lower.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(rebuilt, target), 1e-6);
+}
+
+TEST(CholeskyBlocked, AppendRowStaysWithinReorderingToleranceOfBlocked) {
+  // append_row replays the scalar recurrence, so against a blocked base
+  // factor the appended row differs only by the same summation-order bound
+  // the blocked-vs-scalar tests pin (see append_row's contract).
+  util::Rng rng(16);
+  const std::size_t n = 150;
+  const Matrix full = random_spd(n, rng);
+  Matrix head(n - 1, n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    for (std::size_t j = 0; j + 1 < n; ++j) head(i, j) = full(i, j);
+  auto factor = cholesky_blocked(head);
+  ASSERT_TRUE(factor.has_value());
+  Vec b(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) b[i] = full(i, n - 1);
+  ASSERT_TRUE(factor->append_row(b, full(n - 1, n - 1)));
+  const auto direct = cholesky_scalar(full);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_LT(Matrix::max_abs_diff(factor->lower, direct->lower), 1e-9);
+}
+
 // ---- AUTODML_CHECKED invariants (active in scripts/check.sh's ASan leg) ----
 
 TEST(CheckedMode, MatrixIndexOutOfBoundsThrows) {
