@@ -15,7 +15,8 @@
 //              [--journal=FILE] [--faults=off|light|heavy] [--retries=N]
 //              [--demo] [--trace=FILE] [--metrics=FILE]
 //              [--refit-every=K] [--surrogate-backend=auto|exact|rff]
-//              [--rff-features=M]
+//              [--rff-features=M] [--max-wall-time=SECONDS]
+//              [--crash-point=NAME[:K]] [--crash-after=N]
 //                                  run the tuner; optionally persist/resume.
 //                                  --journal appends every trial to a
 //                                  crash-safe journal: rerunning the same
@@ -23,6 +24,15 @@
 //                                  --faults injects transient faults and
 //                                  --retries supervises evaluations with
 //                                  retry + backoff.
+//                                  --max-wall-time stops the loop cleanly
+//                                  once that much real time has elapsed
+//                                  (exit 0; rerun with --journal to resume).
+//                                  --crash-point/--crash-after arm the chaos
+//                                  layer (see util/chaos.h): the process
+//                                  calls _exit(86) at the named durability
+//                                  point (K-th hit) or at the N-th hit
+//                                  overall. Equivalent env vars:
+//                                  ADML_CRASH_POINT / ADML_CRASH_AFTER.
 //                                  --demo runs the canonical demo session
 //                                  (logreg-ads, 30 evaluations, seed 1 —
 //                                  the golden-run test pins its results).
@@ -49,6 +59,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/arg_parse.h"
+#include "util/chaos.h"
 #include "util/csv.h"
 #include "util/fs.h"
 #include "util/string_util.h"
@@ -320,6 +331,29 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
     std::fprintf(stderr, "--rff-features must be >= 1\n");
     return 1;
   }
+  if (args.has("max-wall-time")) {
+    options.max_wall_seconds = args.get_double("max-wall-time", 0.0);
+    if (!(options.max_wall_seconds > 0.0)) {
+      std::fprintf(stderr, "--max-wall-time must be > 0 seconds\n");
+      return 1;
+    }
+  }
+  // Chaos arming (testing/fault drills): kill this process at a named
+  // durability point, or at the N-th crash-point hit overall.
+  if (args.has("crash-point")) {
+    const std::string spec = args.get("crash-point", "");
+    const std::size_t colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    std::uint64_t hit = 1;
+    if (colon != std::string::npos) {
+      hit = std::stoull(spec.substr(colon + 1));
+    }
+    util::chaos::arm_crash_point(name, hit);
+  }
+  if (args.has("crash-after")) {
+    util::chaos::arm_crash_after(
+        static_cast<std::uint64_t>(args.get_int("crash-after", 1)));
+  }
   if (args.has("resume")) {
     options.warm_start =
         core::load_trials(args.get("resume", ""), evaluator.space());
@@ -330,6 +364,15 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
 
   core::BoTuner tuner(*objective, options);
   const core::TuningResult result = tuner.tune();
+  if (result.wall_deadline_hit) {
+    std::printf(
+        "wall-clock deadline (%s s) hit after %zu trials; stopped cleanly"
+        "%s\n",
+        util::fmt(options.max_wall_seconds).c_str(), result.trials.size(),
+        options.journal_path.empty()
+            ? ""
+            : " (rerun with the same --journal to resume)");
+  }
   if (!trace_path.empty()) {
     obs::Tracer& tracer = obs::Tracer::instance();
     tracer.stop();

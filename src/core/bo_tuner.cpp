@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "util/fs.h"
 #include "util/log.h"
+#include "util/stopwatch.h"
 
 namespace autodml::core {
 
@@ -68,11 +69,18 @@ BoTuner::BoTuner(ObjectiveFunction& objective, BoOptions options)
             " (stale journal?)");
       }
       if (loaded.torn_tail) {
-        // Drop the partial record from disk before appending resumes, or
-        // the next append would concatenate onto the torn line.
         ADML_WARN << "journal " << options_.journal_path
                   << ": torn final record skipped (crash mid-append); the "
                      "trial will be re-evaluated";
+      }
+      if (loaded.deduped_tail) {
+        ADML_WARN << "journal " << options_.journal_path
+                  << ": duplicated trailing record dropped (crash between "
+                     "append and acknowledgement)";
+      }
+      if (loaded.torn_tail || loaded.deduped_tail) {
+        // Drop the partial/duplicate record from disk before appending
+        // resumes, or the next append would land after the bad line.
         std::string repaired = dump_journal(loaded.header, loaded.trials);
         util::write_file_atomic(options_.journal_path, repaired);
       }
@@ -96,6 +104,19 @@ std::vector<conf::Config> BoTuner::initial_configs() {
       return conf::sample_uniform_batch(objective_->space(), n, rng_);
   }
   return {};
+}
+
+conf::Config BoTuner::fallback_config() {
+  // Regenerate the scrambled-Halton stream from scratch on each call: the
+  // scramble permutations are a pure function of the dedicated seed, so
+  // proposal i is the same value whether the process ran straight through,
+  // resumed from a journal, or used a different acq_threads. The prefix
+  // recomputation is O(i) per call and i stays tiny (degraded iterations).
+  util::Rng halton_rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<conf::Config> seq = conf::halton_sequence(
+      objective_->space(), fallback_index_ + 1, halton_rng);
+  ++fallback_index_;
+  return seq.back();
 }
 
 Trial BoTuner::evaluate(const conf::Config& config, bool allow_early_term,
@@ -165,9 +186,28 @@ Trial BoTuner::next_trial(const conf::Config& config, bool allow_early_term,
 TuningResult BoTuner::tune() {
   ADML_SPAN("tuner.tune");
   TuningResult result;
+  util::Stopwatch wall;
+  const auto wall_seconds = [&] {
+    return options_.wall_clock ? options_.wall_clock()
+                               : wall.elapsed_seconds();
+  };
+  // Deadline watchdog: checked between trials, never mid-evaluation. Every
+  // finished trial is already fsynced in the journal, so hitting the
+  // deadline is a clean checkpoint-and-exit, not an abort.
+  const auto deadline_hit = [&] {
+    if (result.wall_deadline_hit) return true;
+    if (!(wall_seconds() >= options_.max_wall_seconds)) return false;
+    result.wall_deadline_hit = true;
+    ADML_COUNT("tuner.wall_deadline_hits", 1);
+    ADML_WARN << "tuner: wall-clock deadline (" << options_.max_wall_seconds
+              << "s) reached after " << result.trials.size()
+              << " trials; checkpointing and stopping (journal is resumable)";
+    return true;
+  };
   const auto budget_left = [&] {
     return static_cast<int>(result.trials.size()) < options_.max_evaluations &&
-           result.total_spent_seconds < options_.max_spent_seconds;
+           result.total_spent_seconds < options_.max_spent_seconds &&
+           !deadline_hit();
   };
 
   // Phase 1: initial design, run to completion (uncensored anchors).
@@ -193,6 +233,14 @@ TuningResult BoTuner::tune() {
       candidate = propose_candidate(surrogate_, options_.acquisition,
                                     history_, rng_, options_.acq_optimizer);
     }
+    if (!candidate && surrogate_.degraded()) {
+      // Degraded surrogate: no posterior to maximize, but the run should
+      // still make progress. Quasi-random coverage beats iid uniform here,
+      // and the dedicated stream keeps it reproducible (see
+      // fallback_config).
+      ADML_COUNT("tuner.fallback_proposals", 1);
+      candidate = fallback_config();
+    }
     if (!candidate) {
       ADML_COUNT("tuner.random_proposals", 1);
       candidate = objective_->space().sample_uniform(rng_);
@@ -206,8 +254,10 @@ TuningResult BoTuner::tune() {
     record_trial(result, std::move(trial));
   }
 
-  // Leave the surrogate fitted on everything seen (sensitivity analysis).
-  surrogate_.update(history_);
+  // Leave the surrogate fitted on everything seen (sensitivity analysis) —
+  // unless the wall deadline fired: the watchdog's contract is a prompt
+  // exit, and a resumed process refits from the journal anyway.
+  if (!result.wall_deadline_hit) surrogate_.update(history_);
   ADML_COUNT("tuner.trials", static_cast<std::int64_t>(result.trials.size()));
   if (result.found_feasible())
     ADML_GAUGE_SET("tuner.best_objective", result.best_objective);

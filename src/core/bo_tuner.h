@@ -21,6 +21,7 @@
 // so the continuation is bit-identical to an uninterrupted run.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -41,6 +42,16 @@ struct BoOptions {
   AcquisitionKind acquisition = AcquisitionKind::kLogEi;
   int max_evaluations = 30;
   double max_spent_seconds = std::numeric_limits<double>::infinity();
+  /// Wall-clock deadline for tune() in *real* seconds (max_spent_seconds is
+  /// simulated evaluation time). When the deadline passes, the loop stops
+  /// proposing after the in-flight trial: everything finished is already in
+  /// the fsynced journal, so the process can exit cleanly and a later run
+  /// resumes where it stopped. TuningResult::wall_deadline_hit reports it.
+  double max_wall_seconds = std::numeric_limits<double>::infinity();
+  /// Test seam for the deadline watchdog: returns seconds elapsed since an
+  /// arbitrary fixed origin. Defaults to a monotonic clock started when
+  /// tune() begins.
+  std::function<double()> wall_clock;
   double random_interleave_prob = 0.05;  // epsilon of pure exploration
   EarlyTermOptions early_term;  // target_metric is filled from the objective
   SurrogateOptions surrogate;
@@ -79,6 +90,11 @@ class BoTuner {
   Trial next_trial(const conf::Config& config, bool allow_early_term,
                    double incumbent);
   std::vector<conf::Config> initial_configs();
+  /// Quasi-random proposal used while the surrogate is degraded. Driven by
+  /// a dedicated seed-derived Halton stream — not rng_ and not the thread
+  /// pool — so fallback proposals are bit-identical across reruns and
+  /// acq_threads settings.
+  conf::Config fallback_config();
 
   ObjectiveFunction* objective_;
   BoOptions options_;
@@ -89,6 +105,7 @@ class BoTuner {
   std::vector<Trial> replay_;  // journaled trials pending replay
   std::size_t replay_cursor_ = 0;
   std::unique_ptr<TrialJournal> journal_;
+  std::size_t fallback_index_ = 0;  // Halton cursor for degraded proposals
 };
 
 }  // namespace autodml::core

@@ -320,6 +320,17 @@ LoadedJournal load_journal(const std::string& path,
   if (lines.empty()) return out;
 
   out.header = parse_header(lines.front(), path);
+  // Replay is positional, so a duplicated trailing record (a restart that
+  // re-evaluated and re-appended a trial whose first append was already
+  // durable) would diverge the resumed proposal stream at the duplicate.
+  // Records serialize deterministically, so byte-identical adjacent tail
+  // lines are the same trial; drop the duplicate. Worst case (a genuine
+  // repeat proposal at the tail) the trial is re-evaluated, which the
+  // deterministic objective reproduces exactly.
+  if (lines.size() >= 3 && lines.back() == lines[lines.size() - 2]) {
+    lines.pop_back();
+    out.deduped_tail = true;
+  }
   for (std::size_t i = 1; i < lines.size(); ++i) {
     try {
       out.trials.push_back(trial_from_json(util::parse_json(lines[i]), space));

@@ -68,6 +68,10 @@ struct LoadedJournal {
   JournalHeader header;
   std::vector<Trial> trials;
   bool torn_tail = false;  // last line was torn by a crash and was skipped
+  /// The final record duplicated its predecessor byte-for-byte (a crash
+  /// between a durable append and the tuner acting on it makes a restart
+  /// re-append the same trial); the duplicate was dropped during replay.
+  bool deduped_tail = false;
 };
 
 /// Append-only journal writer. Every append is fsynced before returning,

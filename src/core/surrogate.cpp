@@ -7,6 +7,8 @@
 #include "gp/rff.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/chaos.h"
+#include "util/log.h"
 
 namespace autodml::core {
 
@@ -68,6 +70,12 @@ void SurrogateModel::update(std::span<const Trial> trials) {
     }
   }
 
+  const double failures =
+      std::count(feas_y.begin(), feas_y.end(), 1.0);
+  feasible_fraction_ =
+      feas_y.empty() ? 1.0
+                     : 1.0 - failures / static_cast<double>(feas_y.size());
+
   // Refit scheduling: a full hyperparameter optimization runs every
   // hyperopt_every updates (and always on the first fit of a model);
   // between rounds the evidence trigger below can force one early.
@@ -77,50 +85,99 @@ void SurrogateModel::update(std::span<const Trial> trials) {
       first_fit ||
       updates_since_hyperopt_ >= std::max(1, options_.hyperopt_every);
 
-  fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, full_hyperopt,
-                /*role_salt=*/0);
-  fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, full_hyperopt,
-                /*role_salt=*/1);
+  // Chaos seam: an armed "surrogate.refit" fault makes every fit attempt
+  // of this update throw, driving the escalation ladder deterministically.
+  const bool injected_fault = util::chaos::fault_requested("surrogate.refit");
 
-  // Feasibility model only earns its keep once failures exist; a constant
-  // label vector would just burn a GP fit.
-  const double failures =
-      std::count(feas_y.begin(), feas_y.end(), 1.0);
-  feasible_fraction_ =
-      feas_y.empty() ? 1.0
-                     : 1.0 - failures / static_cast<double>(feas_y.size());
-  if (failures > 0 && feas_y.size() >= 3) {
-    fit_or_append(feasibility_gp_, feasibility_cache_, all_x, feas_y,
-                  full_hyperopt, /*role_salt=*/2);
-  } else {
-    feasibility_gp_.reset();
-    feasibility_cache_ = {};
-  }
+  // The complete (re)fit flow, evidence-based trigger included. Any
+  // backend failure (non-PD Gram past the jitter ladder, NaN hyperopt)
+  // surfaces here as an exception.
+  const auto run_fits = [&] {
+    if (injected_fault) {
+      throw std::runtime_error("surrogate: injected refit fault");
+    }
+    fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, full_hyperopt,
+                  /*role_salt=*/0);
+    fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, full_hyperopt,
+                  /*role_salt=*/1);
+    // Feasibility model only earns its keep once failures exist; a constant
+    // label vector would just burn a GP fit.
+    if (failures > 0 && feas_y.size() >= 3) {
+      fit_or_append(feasibility_gp_, feasibility_cache_, all_x, feas_y,
+                    full_hyperopt, /*role_salt=*/2);
+    } else {
+      feasibility_gp_.reset();
+      feasibility_cache_ = {};
+    }
+    // Evidence-based trigger: the per-point negative LML is memoized state
+    // the incremental paths keep current, so this costs O(1). When stale
+    // hyperparameters stop explaining the growing data set — degradation
+    // beyond the configured budget in nats/point — a full hyperopt runs
+    // now instead of waiting out the schedule.
+    if (!full_hyperopt && options_.refit_nlml_degradation > 0.0 &&
+        baseline_valid_ && objective_gp_ && objective_gp_->is_fitted()) {
+      const double nlml_per_point =
+          -objective_gp_->log_marginal_likelihood() /
+          static_cast<double>(objective_gp_->num_points());
+      if (nlml_per_point - baseline_nlml_per_point_ >
+          options_.refit_nlml_degradation) {
+        ADML_COUNT("surrogate.refit_evidence", 1);
+        full_hyperopt = true;
+        fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, true, 0);
+        fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, true, 1);
+        if (feasibility_gp_) {
+          fit_or_append(feasibility_gp_, feasibility_cache_, all_x, feas_y,
+                        true, 2);
+        }
+      }
+    }
+  };
 
-  // Evidence-based trigger: the per-point negative LML is memoized state
-  // the incremental paths keep current, so this costs O(1). When stale
-  // hyperparameters stop explaining the growing data set — degradation
-  // beyond the configured budget in nats/point — a full hyperopt runs now
-  // instead of waiting out the schedule.
-  if (!full_hyperopt && options_.refit_nlml_degradation > 0.0 &&
-      baseline_valid_ && objective_gp_ && objective_gp_->is_fitted()) {
-    const double nlml_per_point =
-        -objective_gp_->log_marginal_likelihood() /
-        static_cast<double>(objective_gp_->num_points());
-    if (nlml_per_point - baseline_nlml_per_point_ >
-        options_.refit_nlml_degradation) {
-      ADML_COUNT("surrogate.refit_evidence", 1);
+  // Degradation ladder: a failed fit discards the (suspect) model set and
+  // retries from scratch with the noise floor raised — more observation
+  // noise absorbs the numerical pathology that broke the factorization.
+  // When every escalation fails too, the surrogate parks in degraded mode
+  // rather than taking the tuner down; the next update() tries again.
+  bool fitted = false;
+  const int max_attempts = 1 + std::max(0, options_.max_noise_escalations);
+  for (int attempt = 0; attempt < max_attempts && !fitted; ++attempt) {
+    try {
+      run_fits();
+      fitted = true;
+    } catch (const std::exception& e) {
+      drop_models();
       full_hyperopt = true;
-      fit_or_append(objective_gp_, objective_cache_, ok_x, ok_y, true, 0);
-      fit_or_append(cost_gp_, cost_cache_, cost_x, cost_y, true, 1);
-      if (feasibility_gp_) {
-        fit_or_append(feasibility_gp_, feasibility_cache_, all_x, feas_y,
-                      true, 2);
+      ADML_WARN << "surrogate: fit attempt " << attempt + 1 << "/"
+                << max_attempts << " failed (" << e.what() << ")";
+      if (attempt + 1 < max_attempts) {
+        ADML_COUNT("surrogate.jitter_escalations", 1);
+        options_.gp.initial_noise =
+            std::min(options_.gp.noise_hi,
+                     options_.gp.initial_noise *
+                         options_.noise_escalation_factor);
+        options_.gp.noise_lo =
+            std::min(options_.gp.noise_hi,
+                     options_.gp.noise_lo * options_.noise_escalation_factor);
       }
     }
   }
 
-  if (full_hyperopt) {
+  // Degraded-mode transitions only: these must never touch the metrics
+  // snapshot of a healthy run (the golden-run harness diffs it).
+  if (!fitted && !degraded_) {
+    degraded_ = true;
+    ADML_COUNT("surrogate.degraded_entries", 1);
+    ADML_GAUGE_SET("tuner.degraded_mode", 1);
+    ADML_WARN << "surrogate: entering degraded mode (no usable posterior); "
+                 "tuner falls back to quasi-random proposals";
+  } else if (fitted && degraded_) {
+    degraded_ = false;
+    ADML_COUNT("surrogate.recoveries", 1);
+    ADML_GAUGE_SET("tuner.degraded_mode", 0);
+    ADML_WARN << "surrogate: recovered from degraded mode";
+  }
+
+  if (fitted && full_hyperopt) {
     updates_since_hyperopt_ = 0;
     ADML_COUNT("surrogate.hyperopt_scheduled", 1);
     if (objective_gp_ && objective_gp_->is_fitted()) {
@@ -131,7 +188,7 @@ void SurrogateModel::update(std::span<const Trial> trials) {
     } else {
       baseline_valid_ = false;
     }
-  } else {
+  } else if (fitted) {
     ADML_COUNT("surrogate.refit_skipped", 1);
   }
   ADML_GAUGE_SET("surrogate.backend",
@@ -143,6 +200,20 @@ void SurrogateModel::update(std::span<const Trial> trials) {
   if (!real_y.empty()) {
     incumbent_log_ = *std::min_element(real_y.begin(), real_y.end());
   }
+  // The refreshed model set (or the decision to degrade) is now the state
+  // the tuner resumes from; a crash here must be recoverable from the
+  // journal alone.
+  ADML_CRASH_POINT("surrogate.refit_commit");
+}
+
+void SurrogateModel::drop_models() {
+  objective_gp_.reset();
+  feasibility_gp_.reset();
+  cost_gp_.reset();
+  objective_cache_ = {};
+  feasibility_cache_ = {};
+  cost_cache_ = {};
+  baseline_valid_ = false;
 }
 
 const char* SurrogateModel::objective_backend() const {

@@ -52,6 +52,13 @@ struct SurrogateOptions {
   std::size_t rff_threshold = 1024;
   /// Number of random Fourier features m for the RFF backend.
   int rff_features = 256;
+  /// Graceful degradation: when a backend fit throws (non-PD Gram after
+  /// the Cholesky jitter ladder is exhausted, NaN in hyperopt), the model
+  /// set is rebuilt from scratch with the noise floor raised by this
+  /// factor, up to `max_noise_escalations` times, before the surrogate
+  /// enters degraded mode (ready() == false until a later update fits).
+  double noise_escalation_factor = 100.0;
+  int max_noise_escalations = 2;
   gp::GpOptions gp;
 };
 
@@ -72,6 +79,12 @@ class SurrogateModel {
 
   /// True once at least two successful trials exist (enough to predict).
   bool ready() const { return objective_gp_ && objective_gp_->is_fitted(); }
+
+  /// True while the model is in degraded mode: the last update() exhausted
+  /// the noise-escalation ladder without producing a finite fit, so no
+  /// posterior is available and the tuner should fall back to quasi-random
+  /// proposals. Cleared automatically by the next successful refit.
+  bool degraded() const { return degraded_; }
 
   /// Posterior at a configuration. Requires ready().
   SurrogateScore score(const conf::Config& config) const;
@@ -102,6 +115,10 @@ class SurrogateModel {
                      const std::vector<double>& ys, bool full_hyperopt,
                      std::uint64_t role_salt);
 
+  /// Discard every fitted model and its training cache (partial state left
+  /// behind by a failed fit is not trustworthy).
+  void drop_models();
+
   const conf::ConfigSpace* space_;
   SurrogateOptions options_;
   util::Rng rng_;
@@ -120,6 +137,7 @@ class SurrogateModel {
   TrainCache cost_cache_;
   double incumbent_log_ = 0.0;
   double feasible_fraction_ = 1.0;
+  bool degraded_ = false;
 };
 
 }  // namespace autodml::core

@@ -1,5 +1,7 @@
 #include "core/tuner_types.h"
 
+#include "util/chaos.h"
+
 namespace autodml::core {
 
 void record_trial(TuningResult& result, Trial trial) {
@@ -10,6 +12,9 @@ void record_trial(TuningResult& result, Trial trial) {
   }
   result.trials.push_back(std::move(trial));
   result.incumbent_curve.push_back(result.best_objective);
+  // The trial is journaled and folded into the incumbent; dying here must
+  // leave a journal a fresh process can resume to the identical state.
+  ADML_CRASH_POINT("tuner.incumbent_update");
 }
 
 }  // namespace autodml::core

@@ -94,6 +94,10 @@ struct TuningResult {
   /// best_objective after each trial (infinity until first success).
   std::vector<double> incumbent_curve;
   double total_spent_seconds = 0.0;
+  /// True when tune() stopped because BoOptions::max_wall_seconds elapsed
+  /// rather than because a budget was exhausted; the journal holds every
+  /// finished trial, so a later run can resume the session.
+  bool wall_deadline_hit = false;
 
   bool found_feasible() const {
     return best_objective < std::numeric_limits<double>::infinity();

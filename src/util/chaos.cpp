@@ -1,0 +1,186 @@
+#include "util/chaos.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "util/annotations.h"
+
+namespace autodml::util::chaos {
+
+namespace {
+
+struct CrashTrigger {
+  std::string point;         // empty: any site (ADML_CRASH_AFTER mode)
+  std::uint64_t at_hit = 0;  // 0: disarmed
+};
+
+struct FaultWindow {
+  std::uint64_t first_hit = 0;  // 0: disarmed
+  std::uint64_t count = 0;
+};
+
+struct State {
+  Mutex mu;
+  bool env_loaded ADML_GUARDED_BY(mu) = false;
+  CrashTrigger crash ADML_GUARDED_BY(mu);
+  std::uint64_t total_hits ADML_GUARDED_BY(mu) = 0;
+  std::map<std::string, std::uint64_t, std::less<>> hits_by_point
+      ADML_GUARDED_BY(mu);
+  std::map<std::string, FaultWindow, std::less<>> faults ADML_GUARDED_BY(mu);
+  std::map<std::string, std::uint64_t, std::less<>> fault_hits
+      ADML_GUARDED_BY(mu);
+};
+
+State& state() {
+  static State* s = new State;  // leaky: hit sites may outlive main()
+  return *s;
+}
+
+/// Fast-path gate: false once we know nothing is armed. Starts true so the
+/// first hit pays for the environment check.
+std::atomic<bool> g_maybe_armed{true};
+
+/// "name[:a[:b]]" -> (name, a, b); missing fields keep their defaults.
+void parse_spec(std::string_view spec, std::string* name, std::uint64_t* a,
+                std::uint64_t* b) {
+  const std::size_t colon = spec.find(':');
+  *name = std::string(spec.substr(0, colon));
+  if (colon == std::string_view::npos) return;
+  std::string_view rest = spec.substr(colon + 1);
+  const std::size_t colon2 = rest.find(':');
+  const std::string first(rest.substr(0, colon2));
+  if (!first.empty()) *a = std::strtoull(first.c_str(), nullptr, 10);
+  if (colon2 != std::string_view::npos && b != nullptr) {
+    const std::string second(rest.substr(colon2 + 1));
+    if (!second.empty()) *b = std::strtoull(second.c_str(), nullptr, 10);
+  }
+}
+
+void load_env_locked(State& s) ADML_REQUIRES(s.mu) {
+  if (s.env_loaded) return;
+  s.env_loaded = true;
+  if (const char* spec = std::getenv("ADML_CRASH_POINT")) {
+    std::string name;
+    std::uint64_t hit = 1;
+    parse_spec(spec, &name, &hit, nullptr);
+    if (!name.empty() && hit > 0) s.crash = {name, hit};
+  }
+  if (const char* spec = std::getenv("ADML_CRASH_AFTER")) {
+    const std::uint64_t n = std::strtoull(spec, nullptr, 10);
+    if (n > 0) s.crash = {std::string(), n};
+  }
+  if (const char* spec = std::getenv("ADML_FAULT_POINT")) {
+    std::string name;
+    std::uint64_t first = 1, count = 1;
+    parse_spec(spec, &name, &first, &count);
+    if (!name.empty() && first > 0 && count > 0) {
+      s.faults[name] = {first, count};
+    }
+  }
+}
+
+bool anything_armed_locked(State& s) ADML_REQUIRES(s.mu) {
+  return s.crash.at_hit > 0 || !s.faults.empty();
+}
+
+[[noreturn]] void crash_now(std::string_view name, std::uint64_t hit) {
+  // stderr is unbuffered; write the marker, then die without any cleanup.
+  std::fprintf(stderr, "adml-chaos: crash point '%.*s' (hit %llu) -- _exit(%d)\n",
+               static_cast<int>(name.size()), name.data(),
+               static_cast<unsigned long long>(hit), kCrashExitCode);
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace
+
+void hit_crash_point(std::string_view name) {
+  if (!g_maybe_armed.load(std::memory_order_relaxed)) return;
+  State& s = state();
+  MutexLock lock(s.mu);
+  load_env_locked(s);
+  if (!anything_armed_locked(s)) {
+    g_maybe_armed.store(false, std::memory_order_relaxed);
+    return;
+  }
+  if (s.crash.at_hit == 0) return;  // only fault points armed
+  ++s.total_hits;
+  const std::uint64_t site_hits = ++s.hits_by_point[std::string(name)];
+  if (s.crash.point.empty()) {
+    if (s.total_hits >= s.crash.at_hit) crash_now(name, s.total_hits);
+  } else if (s.crash.point == name && site_hits >= s.crash.at_hit) {
+    crash_now(name, site_hits);
+  }
+}
+
+bool fault_requested(std::string_view name) {
+  if (!g_maybe_armed.load(std::memory_order_relaxed)) return false;
+  State& s = state();
+  MutexLock lock(s.mu);
+  load_env_locked(s);
+  if (!anything_armed_locked(s)) {
+    g_maybe_armed.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  const auto it = s.faults.find(name);
+  if (it == s.faults.end() || it->second.first_hit == 0) return false;
+  const std::uint64_t hit = ++s.fault_hits[std::string(name)];
+  return hit >= it->second.first_hit &&
+         hit < it->second.first_hit + it->second.count;
+}
+
+void arm_crash_point(std::string_view name, std::uint64_t hit) {
+  State& s = state();
+  MutexLock lock(s.mu);
+  load_env_locked(s);
+  s.crash = {std::string(name), hit};
+  g_maybe_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_crash_after(std::uint64_t n) {
+  State& s = state();
+  MutexLock lock(s.mu);
+  load_env_locked(s);
+  s.crash = {std::string(), n};
+  g_maybe_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_fault_point(std::string_view name, std::uint64_t first_hit,
+                     std::uint64_t count) {
+  State& s = state();
+  MutexLock lock(s.mu);
+  load_env_locked(s);
+  s.faults[std::string(name)] = {first_hit, count};
+  s.fault_hits.erase(std::string(name));
+  g_maybe_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  s.env_loaded = true;  // tests own the configuration from here on
+  s.crash = {};
+  s.total_hits = 0;
+  s.hits_by_point.clear();
+  s.faults.clear();
+  s.fault_hits.clear();
+  g_maybe_armed.store(false, std::memory_order_relaxed);
+}
+
+bool armed() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  load_env_locked(s);
+  return anything_armed_locked(s);
+}
+
+std::uint64_t total_crash_point_hits() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  return s.total_hits;
+}
+
+}  // namespace autodml::util::chaos

@@ -1,0 +1,80 @@
+// Chaos layer: deterministic crash-point and fault-point injection.
+//
+// The tuner's durability story (fsynced journal, atomic saves, resume by
+// replay) is only credible if the process is actually killed at the worst
+// possible instants and still recovers. This header provides the hooks the
+// chaos harness (tools/chaos) arms:
+//
+//   - Crash points. `ADML_CRASH_POINT("name")` marks a durability-relevant
+//     site (journal append pre/post-write, pre/post-fsync, atomic-save
+//     rename, incumbent update, surrogate refit commit — see DESIGN.md §6i
+//     for the full map). When armed, hitting the chosen point terminates
+//     the process immediately via _exit(kCrashExitCode): no destructors, no
+//     atexit handlers, no stream flushing — the closest portable stand-in
+//     for `kill -9` at exactly that instruction.
+//
+//   - Fault points. `chaos::fault_requested("name")` is a non-fatal
+//     variant: the call site simulates an internal failure (e.g. a
+//     numerically collapsing surrogate refit) for a configured window of
+//     hits instead of dying. Used to exercise graceful-degradation paths
+//     deterministically.
+//
+// Arming (first hit lazily reads the environment, so forked children are
+// armed by their parent without code changes):
+//
+//   ADML_CRASH_POINT=<name>[:k]      crash at the k-th hit of site <name>
+//                                    (default k = 1)
+//   ADML_CRASH_AFTER=<n>             crash at the n-th crash-point hit
+//                                    overall, regardless of site — the
+//                                    harness's randomized kill knob
+//   ADML_FAULT_POINT=<name>[:k[:m]]  site <name> reports failure on hits
+//                                    k .. k+m-1 (defaults k = 1, m = 1)
+//
+// or programmatically via arm_* (the CLI's --crash-point / --crash-after
+// flags). Disarmed hits cost one relaxed atomic load; the layer is
+// observation-free and never perturbs results unless armed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace autodml::util::chaos {
+
+/// Exit code of a process killed at a crash point. Distinctive so the
+/// harness can tell an injected crash from a real failure.
+inline constexpr int kCrashExitCode = 86;
+
+/// Site marker; expands to a function call so it can sit between two
+/// arbitrary statements. Name must be a stable, documented identifier.
+#define ADML_CRASH_POINT(name) ::autodml::util::chaos::hit_crash_point(name)
+
+/// Record a hit of the named crash point; terminates the process when the
+/// hit matches the armed trigger. No-op (one atomic load) when disarmed.
+void hit_crash_point(std::string_view name);
+
+/// Arm a specific site: the process dies at its `hit`-th hit (1-based).
+void arm_crash_point(std::string_view name, std::uint64_t hit = 1);
+
+/// Arm the global counter: the process dies at the n-th crash-point hit
+/// across all sites (1-based). This is what the harness randomizes.
+void arm_crash_after(std::uint64_t n);
+
+/// Record a hit of the named fault point; true when the site should
+/// simulate an internal failure this time. No-op when disarmed.
+bool fault_requested(std::string_view name);
+
+/// Arm a fault point: hits first_hit .. first_hit+count-1 report failure.
+void arm_fault_point(std::string_view name, std::uint64_t first_hit = 1,
+                     std::uint64_t count = 1);
+
+/// Disarm everything and reset all hit counters (tests).
+void disarm_all();
+
+/// True when any crash or fault trigger is armed.
+bool armed();
+
+/// Total crash-point hits recorded since arming (diagnostics/tests).
+std::uint64_t total_crash_point_hits();
+
+}  // namespace autodml::util::chaos

@@ -3,65 +3,202 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/chaos.h"
+#include "util/log.h"
 
 namespace autodml::util {
 
-namespace {
+IoError::IoError(std::string op, std::string path, int errno_value)
+    : std::runtime_error(op + ": " + path + " (" +
+                         std::strerror(errno_value) + ")"),
+      op_(std::move(op)),
+      path_(std::move(path)),
+      errno_(errno_value) {}
 
-[[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + ": " + path + " (" + std::strerror(errno) +
-                           ")");
+// ---- FileOps seam ----------------------------------------------------------
+
+int FileOps::open(const char* path, int flags, int mode) {
+  return ::open(path, flags, mode);
 }
 
-void fsync_parent_dir(const std::string& path) {
+long FileOps::write(int fd, const void* buf, std::size_t n) {
+  return static_cast<long>(::write(fd, buf, n));
+}
+
+int FileOps::fsync(int fd) { return ::fsync(fd); }
+
+int FileOps::close(int fd) { return ::close(fd); }
+
+int FileOps::rename(const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+int FileOps::unlink(const char* path) { return ::unlink(path); }
+
+namespace {
+
+FileOps& real_file_ops() {
+  static FileOps* real = new FileOps;  // leaky singleton
+  return *real;
+}
+
+std::atomic<FileOps*> g_file_ops{nullptr};
+
+[[noreturn]] void fail(const char* op, const std::string& path) {
+  throw IoError(op, path, errno);
+}
+
+}  // namespace
+
+FileOps& file_ops() {
+  FileOps* ops = g_file_ops.load(std::memory_order_acquire);
+  return ops != nullptr ? *ops : real_file_ops();
+}
+
+ScopedFileOps::ScopedFileOps(FileOps* ops)
+    : previous_(g_file_ops.exchange(ops, std::memory_order_acq_rel)) {}
+
+ScopedFileOps::~ScopedFileOps() {
+  g_file_ops.store(previous_, std::memory_order_release);
+}
+
+// ---- FaultyFileOps ---------------------------------------------------------
+
+int FaultyFileOps::open(const char* path, int flags, int mode) {
+  const std::uint64_t idx = ++opens_;
+  if (const auto it = plan_.open_errors.find(idx);
+      it != plan_.open_errors.end()) {
+    ++injected_;
+    errno = it->second;
+    return -1;
+  }
+  return FileOps::open(path, flags, mode);
+}
+
+long FaultyFileOps::write(int fd, const void* buf, std::size_t n) {
+  const std::uint64_t idx = ++writes_;
+  if (plan_.write_eintr.count(idx) != 0) {
+    ++injected_;
+    errno = EINTR;
+    return -1;
+  }
+  if (const auto it = plan_.write_errors.find(idx);
+      it != plan_.write_errors.end()) {
+    ++injected_;
+    errno = it->second;
+    return -1;
+  }
+  if (const auto it = plan_.short_writes.find(idx);
+      it != plan_.short_writes.end() && it->second < n) {
+    ++injected_;
+    return FileOps::write(fd, buf, it->second);
+  }
+  return FileOps::write(fd, buf, n);
+}
+
+int FaultyFileOps::fsync(int fd) {
+  const std::uint64_t idx = ++fsyncs_;
+  if (const auto it = plan_.fsync_errors.find(idx);
+      it != plan_.fsync_errors.end()) {
+    ++injected_;
+    errno = it->second;
+    return -1;
+  }
+  return FileOps::fsync(fd);
+}
+
+int FaultyFileOps::close(int fd) { return FileOps::close(fd); }
+
+int FaultyFileOps::rename(const char* from, const char* to) {
+  const std::uint64_t idx = ++renames_;
+  if (const auto it = plan_.rename_errors.find(idx);
+      it != plan_.rename_errors.end()) {
+    ++injected_;
+    errno = it->second;
+    return -1;
+  }
+  return FileOps::rename(from, to);
+}
+
+int FaultyFileOps::unlink(const char* path) { return FileOps::unlink(path); }
+
+// ---- Primitives ------------------------------------------------------------
+
+namespace {
+
+/// Write the whole buffer through the seam, retrying short writes and
+/// EINTR. Returns false (with errno set) on a hard failure; bytes already
+/// accepted by then may be durable — the caller's record is torn.
+bool write_all(FileOps& ops, int fd, std::string_view data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const long n = ops.write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void fsync_parent_dir(FileOps& ops, const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int fd = ops.open(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (fd < 0) return;  // best effort: some filesystems refuse dir fds
-  ::fsync(fd);
-  ::close(fd);
+  (void)ops.fsync(fd);  // best effort, same reason
+  (void)ops.close(fd);
 }
 
 }  // namespace
 
 void write_file_atomic(const std::string& path, std::string_view content) {
+  FileOps& ops = file_ops();
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = ops.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail("write_file_atomic: cannot create", tmp);
-  const char* data = content.data();
-  std::size_t left = content.size();
-  while (left > 0) {
-    const ::ssize_t n = ::write(fd, data, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      fail("write_file_atomic: write failed", tmp);
-    }
-    data += n;
-    left -= static_cast<std::size_t>(n);
+  ADML_CRASH_POINT("fs.atomic.pre_write");
+  if (!write_all(ops, fd, content)) {
+    const int saved = errno;
+    (void)ops.close(fd);
+    (void)ops.unlink(tmp.c_str());
+    errno = saved;
+    fail("write_file_atomic: write failed", tmp);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
+  if (ops.fsync(fd) != 0) {
+    const int saved = errno;
+    (void)ops.close(fd);
+    (void)ops.unlink(tmp.c_str());
+    errno = saved;
     fail("write_file_atomic: fsync failed", tmp);
   }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
+  if (ops.close(fd) != 0) {
+    const int saved = errno;
+    (void)ops.unlink(tmp.c_str());
+    errno = saved;
     fail("write_file_atomic: close failed", tmp);
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
+  ADML_CRASH_POINT("fs.atomic.pre_rename");
+  if (ops.rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    (void)ops.unlink(tmp.c_str());
+    errno = saved;
     fail("write_file_atomic: rename failed", path);
   }
-  fsync_parent_dir(path);
+  ADML_CRASH_POINT("fs.atomic.post_rename");
+  fsync_parent_dir(ops, path);
 }
 
 std::string read_file(const std::string& path) {
@@ -74,20 +211,30 @@ std::string read_file(const std::string& path) {
 }
 
 DurableAppender::DurableAppender(const std::string& path) : path_(path) {
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) fail("DurableAppender: cannot open", path);
+  fd_ = file_ops().open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) fail("DurableAppender: cannot open", path);
 }
 
 DurableAppender::~DurableAppender() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ < 0) return;
+  // Destructors cannot throw; a failed close after per-record fsyncs loses
+  // nothing durable, but it is still worth a trace in the log.
+  if (file_ops().close(fd_) != 0) {
+    ADML_WARN << "DurableAppender: close failed: " << path_ << " ("
+              << std::strerror(errno) << ")";
+  }
 }
 
 void DurableAppender::append(std::string_view record) {
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size())
+  FileOps& ops = file_ops();
+  ADML_CRASH_POINT("journal.append.pre_write");
+  if (!write_all(ops, fd_, record)) {
     fail("DurableAppender: write failed", path_);
-  if (std::fflush(file_) != 0) fail("DurableAppender: flush failed", path_);
-  if (::fsync(::fileno(file_)) != 0)
-    fail("DurableAppender: fsync failed", path_);
+  }
+  ADML_CRASH_POINT("journal.append.post_write");
+  ADML_CRASH_POINT("journal.append.pre_fsync");
+  if (ops.fsync(fd_) != 0) fail("DurableAppender: fsync failed", path_);
+  ADML_CRASH_POINT("journal.append.post_fsync");
 }
 
 }  // namespace autodml::util

@@ -1,0 +1,222 @@
+// The IO-fault seam (util/fs): every durability error path is exercised
+// deterministically through FaultyFileOps, and every failure surfaces as a
+// typed IoError carrying the operation, the path, and the errno — never as
+// silent corruption.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/session_io.h"
+#include "synthetic_objective.h"
+#include "util/fs.h"
+#include "util/rng.h"
+
+namespace autodml::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(IoError, CarriesOpPathAndErrno) {
+  const IoError e("append failed", "/data/t.journal", ENOSPC);
+  EXPECT_EQ(e.op(), "append failed");
+  EXPECT_EQ(e.path(), "/data/t.journal");
+  EXPECT_EQ(e.error_code(), ENOSPC);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("append failed"), std::string::npos) << what;
+  EXPECT_NE(what.find("/data/t.journal"), std::string::npos) << what;
+}
+
+TEST(FaultShim, ShortWriteIsRetriedTransparently) {
+  const std::string path = temp_path("fs_short.journal");
+  FaultPlan plan;
+  plan.short_writes[1] = 3;  // first write accepts only 3 bytes
+  FaultyFileOps faulty(plan);
+  {
+    ScopedFileOps scoped(&faulty);
+    DurableAppender appender(path);
+    appender.append("hello world\n");
+  }
+  EXPECT_EQ(faulty.injected_faults(), 1u);
+  EXPECT_EQ(read_file(path), "hello world\n");
+  std::remove(path.c_str());
+}
+
+TEST(FaultShim, EintrIsRetriedTransparently) {
+  const std::string path = temp_path("fs_eintr.journal");
+  FaultPlan plan;
+  plan.write_eintr.insert(1);
+  FaultyFileOps faulty(plan);
+  {
+    ScopedFileOps scoped(&faulty);
+    DurableAppender appender(path);
+    appender.append("record\n");
+  }
+  EXPECT_EQ(faulty.injected_faults(), 1u);
+  EXPECT_EQ(read_file(path), "record\n");
+  std::remove(path.c_str());
+}
+
+TEST(FaultShim, EnospcSurfacesTypedErrorAndPriorRecordsSurvive) {
+  const std::string path = temp_path("fs_enospc.journal");
+  FaultPlan plan;
+  plan.write_errors[2] = ENOSPC;  // first record lands, second does not
+  FaultyFileOps faulty(plan);
+  {
+    ScopedFileOps scoped(&faulty);
+    DurableAppender appender(path);
+    appender.append("first\n");
+    try {
+      appender.append("second\n");
+      FAIL() << "ENOSPC write was swallowed";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.error_code(), ENOSPC);
+      EXPECT_EQ(e.path(), path);
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    }
+  }
+  // The failed append tore nothing that was already durable.
+  EXPECT_EQ(read_file(path), "first\n");
+  std::remove(path.c_str());
+}
+
+TEST(FaultShim, FsyncFailureSurfacesTypedError) {
+  const std::string path = temp_path("fs_fsync.journal");
+  FaultPlan plan;
+  plan.fsync_errors[1] = EIO;
+  FaultyFileOps faulty(plan);
+  ScopedFileOps scoped(&faulty);
+  DurableAppender appender(path);
+  try {
+    appender.append("record\n");
+    FAIL() << "fsync failure was swallowed";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_code(), EIO);
+    EXPECT_EQ(e.path(), path);
+    EXPECT_NE(std::string(e.what()).find("fsync"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultShim, OpenFailureSurfacesOnConstruction) {
+  const std::string path = temp_path("fs_open.journal");
+  FaultPlan plan;
+  plan.open_errors[1] = EACCES;
+  FaultyFileOps faulty(plan);
+  ScopedFileOps scoped(&faulty);
+  EXPECT_THROW(DurableAppender appender(path), IoError);
+}
+
+TEST(FaultShim, AtomicWriteRenameFailureLeavesOriginalAndNoResidue) {
+  const std::string dir = ::testing::TempDir() + "/fs_rename_dir";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/target.json";
+  write_file_atomic(path, "old contents");
+
+  FaultPlan plan;
+  plan.rename_errors[1] = EACCES;
+  FaultyFileOps faulty(plan);
+  {
+    ScopedFileOps scoped(&faulty);
+    try {
+      write_file_atomic(path, "new contents");
+      FAIL() << "rename failure was swallowed";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.error_code(), EACCES);
+      EXPECT_NE(std::string(e.what()).find("rename"), std::string::npos);
+    }
+  }
+  // Readers still see the previous contents, and the temp file is gone.
+  EXPECT_EQ(read_file(path), "old contents");
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "target.json");
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultShim, AtomicWriteEnospcCleansUpAndKeepsOriginal) {
+  const std::string path = temp_path("fs_atomic_enospc.json");
+  write_file_atomic(path, "old contents");
+  FaultPlan plan;
+  plan.write_errors[1] = ENOSPC;
+  FaultyFileOps faulty(plan);
+  {
+    ScopedFileOps scoped(&faulty);
+    EXPECT_THROW(write_file_atomic(path, "new contents"), IoError);
+  }
+  EXPECT_EQ(read_file(path), "old contents");
+  std::remove(path.c_str());
+}
+
+TEST(FaultShim, IdenticalPlansBehaveIdentically) {
+  // Determinism of the shim itself: two runs against the same plan inject
+  // the same faults at the same operation indices.
+  for (int round = 0; round < 2; ++round) {
+    const std::string path =
+        temp_path("fs_det_" + std::to_string(round) + ".journal");
+    FaultPlan plan;
+    plan.short_writes[1] = 2;
+    plan.write_errors[3] = ENOSPC;
+    FaultyFileOps faulty(plan);
+    ScopedFileOps scoped(&faulty);
+    DurableAppender appender(path);
+    appender.append("aaaa\n");  // writes 1 (short) + 2 (remainder)
+    EXPECT_THROW(appender.append("bbbb\n"), IoError);  // write 3
+    EXPECT_EQ(faulty.injected_faults(), 2u);
+    EXPECT_EQ(read_file(path), "aaaa\n");
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SessionIoFaults, SaveTrialsSurfacesIoErrorWithPathContext) {
+  const std::string path =
+      ::testing::TempDir() + "/no_such_dir_adml/session.json";
+  try {
+    core::save_trials(path, {});
+    FAIL() << "save into a missing directory was swallowed";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_dir_adml"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SessionIoFaults, JournalAppendPropagatesTypedErrorWithPath) {
+  const std::string path = temp_path("fs_journal_typed.journal");
+  core::JournalHeader header;
+  header.seed = 7;
+  header.num_params = 3;
+  core::TrialJournal journal(path, header);  // header line written cleanly
+
+  const autodml::testing::SyntheticObjective objective;
+  util::Rng rng(7);
+  core::Trial trial;
+  trial.config = objective.space().sample_uniform(rng);
+  trial.outcome.feasible = true;
+  trial.outcome.objective = 1.0;
+
+  FaultPlan plan;
+  plan.write_errors[1] = ENOSPC;
+  FaultyFileOps faulty(plan);
+  ScopedFileOps scoped(&faulty);
+  try {
+    journal.append(trial);
+    FAIL() << "journal append error was swallowed";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.error_code(), ENOSPC);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace autodml::util

@@ -1,0 +1,29 @@
+// Fixture: D009 — durable-path IO (util/fs*, core/session_io*) must check
+// write/fsync/rename/close returns; a silently failed write here is
+// silent journal corruption.
+#include <cstdio>
+
+namespace fixture {
+
+struct Ops {
+  long write(int fd, const void* buf, unsigned long n);
+  int fsync(int fd);
+  int rename(const char* from, const char* to);
+  int close(int fd);
+};
+
+void durable_io(Ops& ops, Ops* pops, int fd, const void* buf,
+                unsigned long n) {
+  ops.write(fd, buf, n);  // expect(D009)
+  pops->fsync(fd);        // expect(D009)
+  ::fsync(fd);            // expect(D009)
+  std::rename("a", "b");  // expect(D009)
+  if (ops.write(fd, buf, n) < 0) return;  // result tested: clean
+  const int rc = ops.fsync(fd);           // result captured: clean
+  if (rc != 0) return;
+  (void)ops.close(fd);  // explicit visible discard: clean
+  if (::rename("a", "b") != 0) return;    // raw call, tested: clean
+  ops.rename("a", "b");  // adml-lint: allow(D009 fixture: justified discard)
+}
+
+}  // namespace fixture

@@ -94,7 +94,8 @@ TEST(LintFixtures, CorpusExercisesMostOfTheCatalog) {
   for (const std::string_view code :
        {kNondetRandom, kWallClock, kUnorderedContainer, kManualSpanEvent,
         kLossyFloatFormat, kRawMutex, kNonLiteralSpanName, kBareSuppression,
-        kRandomHeader, kUnguardedMutexMember, kBadSpanName, kEndlFlush}) {
+        kUncheckedIo, kRandomHeader, kUnguardedMutexMember, kBadSpanName,
+        kEndlFlush}) {
     EXPECT_TRUE(codes.count(std::string(code))) << "no fixture for " << code;
   }
 }
@@ -163,6 +164,23 @@ TEST(LintScanner, FindingFormattingIsStable) {
   EXPECT_NE(line.find("hint:"), std::string::npos) << line;
 }
 
+TEST(LintScanner, UncheckedDurableIoFlagsOnlyDurablePaths) {
+  const std::string bad = "ops.fsync(fd);\n";
+  EXPECT_FALSE(scan_file("src/util/fs.cpp", bad).empty());
+  EXPECT_FALSE(scan_file("src/core/session_io.cpp", bad).empty());
+  // Same text outside the durability layer is not D009's business.
+  EXPECT_TRUE(scan_file("src/core/bo_tuner.cpp", bad).empty());
+  // Tested, captured, and explicitly discarded results are all clean.
+  EXPECT_TRUE(
+      scan_file("src/util/fs.cpp", "if (ops.fsync(fd) != 0) fail();\n")
+          .empty());
+  EXPECT_TRUE(
+      scan_file("src/util/fs.cpp", "const int rc = ops.fsync(fd);\n")
+          .empty());
+  EXPECT_TRUE(
+      scan_file("src/util/fs.cpp", "(void)ops.fsync(fd);\n").empty());
+}
+
 TEST(LintScanner, CatalogListsEveryCodeOnceErrorsFirst) {
   const auto catalog = check_catalog();
   std::set<std::string_view> codes;
@@ -173,7 +191,7 @@ TEST(LintScanner, CatalogListsEveryCodeOnceErrorsFirst) {
     // Errors first: no error may follow a warning.
     EXPECT_FALSE(seen_warning && check.severity == Severity::kError);
   }
-  EXPECT_EQ(codes.size(), 12u);
+  EXPECT_EQ(codes.size(), 13u);
 }
 
 TEST(LintScanner, RealTreeIsClean) {

@@ -176,6 +176,7 @@ struct PathInfo {
   bool deterministic = false;   // dirs where wall clocks are banned
   bool ordered = false;         // dirs where unordered containers are banned
   bool serialization = false;   // files where floats must round-trip
+  bool durable = false;         // files where IO returns must be checked
 };
 
 bool starts_with(std::string_view s, std::string_view prefix) {
@@ -232,6 +233,14 @@ PathInfo classify(std::string_view path) {
       "src/obs/metrics", "src/obs/trace"};
   for (const auto file : kSerializationFiles) {
     if (starts_with(rel, file)) info.serialization = true;
+  }
+
+  // The durability layer: files whose write/fsync/rename calls carry the
+  // crash-safety contract (see DESIGN.md §6i).
+  static constexpr std::array<std::string_view, 2> kDurableFiles = {
+      "src/util/fs", "src/core/session_io"};
+  for (const auto file : kDurableFiles) {
+    if (starts_with(rel, file)) info.durable = true;
   }
   return info;
 }
@@ -325,6 +334,40 @@ constexpr std::array<Needle, 10> kRawMutexNeedles = {{
     {"std::call_once"},
     {"std::once_flag"},
 }};
+
+/// Calls whose return value encodes durability success; matched only in
+/// durable files (util/fs, core/session_io). The member-call forms cover
+/// the FileOps seam, the :: forms the raw syscall and stdio APIs ("::"
+/// also matches the std:: spellings).
+constexpr std::array<std::string_view, 16> kDurableIoNeedles = {{
+    "::write(", "::fwrite(", "::fsync(", "::fdatasync(", "::rename(",
+    "::fflush(", "::fclose(", "::close(", ".write(", "->write(", ".fsync(",
+    "->fsync(", ".rename(", "->rename(", ".close(", "->close("}};
+
+/// True when the durable-IO call whose needle matches `code` at `pos`
+/// discards its return value. Heuristic on the statement prefix (text
+/// between the previous ';'/'{'/'}' and the match): an empty prefix or a
+/// bare identifier chain means nothing consumes the result; a prefix that
+/// assigns, tests, casts, or returns ('=', '(', '!', comparison, "return",
+/// any multi-token text) counts as checked. "(void)x.fsync(...)" contains
+/// '(' and is therefore a *deliberate*, visible discard.
+bool unchecked_io_call(std::string_view code, std::size_t pos) {
+  std::size_t start = 0;
+  if (pos > 0) {
+    const std::size_t stmt = code.find_last_of(";{}", pos - 1);
+    if (stmt != std::string_view::npos) start = stmt + 1;
+  }
+  std::string_view prefix = code.substr(start, pos - start);
+  while (!prefix.empty() && prefix.front() == ' ') prefix.remove_prefix(1);
+  while (!prefix.empty() && prefix.back() == ' ') prefix.remove_suffix(1);
+  if (prefix.empty()) return true;
+  if (prefix == "return") return false;
+  if (prefix.find_first_of("=(!<>,?&|") != std::string_view::npos) {
+    return false;
+  }
+  if (prefix.find(' ') != std::string_view::npos) return false;
+  return true;
+}
 
 bool match_any(std::string_view code, std::string_view include_header,
                const Needle* needles, std::size_t count) {
@@ -545,6 +588,26 @@ class FileScan {
       }
     }
 
+    // D009: durable-path IO whose result nobody looks at. A write or
+    // fsync that "fails silently" here is exactly the corruption the
+    // chaos harness exists to rule out.
+    if (info_.durable && !is_define) {
+      for (const std::string_view needle : kDurableIoNeedles) {
+        std::size_t pos = 0;
+        while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+          if (unchecked_io_call(code, pos)) {
+            add(kUncheckedIo, Severity::kError, line_no, allowed,
+                "unchecked return of durable IO call (" +
+                    std::string(needle.substr(0, needle.size() - 1)) + ")",
+                "check the result and surface a typed IoError with the "
+                "path, or discard explicitly with (void) and justify");
+            break;  // one finding per call site is enough
+          }
+          pos += needle.size();
+        }
+      }
+    }
+
     // D102 candidates: Mutex members (resolved at end of file).
     if (info_.in_src && !info_.is_annotations &&
         declares_mutex_member(code)) {
@@ -613,6 +676,9 @@ std::vector<CheckInfo> check_catalog() {
       {kBareSuppression, Severity::kError,
        "adml-lint: "
        "allow(...) without a justification"},
+      {kUncheckedIo, Severity::kError,
+       "unchecked write/fsync/rename/close return on a durability path "
+       "(util/fs, core/session_io)"},
       {kRandomHeader, Severity::kWarning,
        "#include <random> outside util::rng"},
       {kUnguardedMutexMember, Severity::kWarning,
