@@ -1,10 +1,12 @@
 // Experiment R-F13 (extension) — synchronous parallel tuning.
 //
-// Constant-liar batch proposals let `q` configurations train concurrently
-// on separate clusters; the search's wall-clock per round is then the
-// slowest run instead of the sum. Sweep q at a fixed total evaluation
-// count. Expected shape: wall-clock drops ~q-fold while final quality
-// degrades only mildly (the liar loses some sequential information).
+// Kriging-believer batch proposals (core::propose_batch) let `q`
+// configurations train concurrently on separate clusters; the search's
+// wall-clock per round is then the slowest run instead of the sum. Sweep
+// q at a fixed total evaluation count. Expected shape: wall-clock drops
+// ~q-fold while final quality degrades only mildly (fantasies lose some
+// sequential information). Rounds remain straggler-bound; bench_async
+// (R-A14) measures the asynchronous pipeline that removes the barrier.
 #include "baselines/parallel_bo.h"
 #include "bench_common.h"
 #include "util/arg_parse.h"

@@ -16,6 +16,7 @@
 //              [--demo] [--trace=FILE] [--metrics=FILE]
 //              [--refit-every=K] [--surrogate-backend=auto|exact|rff]
 //              [--rff-features=M] [--max-wall-time=SECONDS]
+//              [--async-q=Q] [--async-workers=W]
 //              [--crash-point=NAME[:K]] [--crash-after=N]
 //                                  run the tuner; optionally persist/resume.
 //                                  --journal appends every trial to a
@@ -27,6 +28,12 @@
 //                                  --max-wall-time stops the loop cleanly
 //                                  once that much real time has elapsed
 //                                  (exit 0; rerun with --journal to resume).
+//                                  --async-q keeps Q evaluations in flight
+//                                  (kriging-believer fantasized proposals);
+//                                  results and journal bytes are identical
+//                                  at any --async-workers count. Resume a
+//                                  journal with the same --async-q it was
+//                                  written with.
 //                                  --crash-point/--crash-after arm the chaos
 //                                  layer (see util/chaos.h): the process
 //                                  calls _exit(86) at the named durability
@@ -337,6 +344,19 @@ int cmd_tune(const wl::Workload& workload, const util::ArgParser& args) {
       std::fprintf(stderr, "--max-wall-time must be > 0 seconds\n");
       return 1;
     }
+  }
+  // Async pipeline (see BoOptions::async_q): up to Q evaluations in flight,
+  // results ingested in proposal order — deterministic at any worker count.
+  options.async_q = static_cast<int>(args.get_int("async-q", 1));
+  if (options.async_q < 1) {
+    std::fprintf(stderr, "--async-q must be >= 1\n");
+    return 1;
+  }
+  options.async_workers =
+      static_cast<int>(args.get_int("async-workers", 0));
+  if (options.async_workers < 0) {
+    std::fprintf(stderr, "--async-workers must be >= 0\n");
+    return 1;
   }
   // Chaos arming (testing/fault drills): kill this process at a named
   // durability point, or at the N-th crash-point hit overall.

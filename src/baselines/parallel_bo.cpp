@@ -10,11 +10,13 @@
 
 namespace autodml::baselines {
 
-// Evaluation stays single-threaded: each round runs its constant-liar batch
-// sequentially and charges the *slowest* member to wall_clock_seconds,
-// modeling q machines running in parallel. Acquisition scoring inside each
-// proposal may use real threads (acq_threads > 1) — its deterministic
-// reduction keeps every number this baseline reports identical.
+// Evaluation stays single-threaded: each round runs its kriging-believer
+// batch (core::propose_batch) sequentially and charges the *slowest* member
+// to wall_clock_seconds, modeling q machines running in parallel — the
+// synchronous-rounds counterpart of BoTuner's async_q pipeline, which
+// overlaps evaluations for real. Acquisition scoring inside each proposal
+// may use real threads (acq_threads > 1) — its deterministic reduction
+// keeps every number this baseline reports identical.
 //
 // Lock discipline: this driver owns no mutex-guarded state of its own.
 // The only concurrency is inside core::propose_candidate's chunked

@@ -138,13 +138,34 @@ std::optional<conf::Config> propose_candidate(
   return best;
 }
 
+Trial make_fantasy_trial(const SurrogateModel& model,
+                         const conf::Config& config) {
+  Trial fantasy;
+  fantasy.config = config;
+  fantasy.fantasized = true;
+  // The outcome is a belief, never an observation: `feasible` + zero cost
+  // make the trial *parse* as a completed run, but SurrogateModel::update
+  // routes fantasized trials into the objective posterior only.
+  fantasy.outcome.feasible = true;
+  fantasy.outcome.spent_seconds = 0.0;
+  if (model.ready()) {
+    // Kriging believer: believe the posterior mean at the pending point.
+    fantasy.outcome.objective = std::exp(model.score(config).mean);
+    ADML_COUNT("acq.fantasized", 1);
+  }
+  // Model not ready: objective stays +infinity — no belief to condition
+  // on, the fantasy only dedups the pending configuration. (The previous
+  // constant-liar code fabricated an arbitrary `objective = 1.0` here.)
+  return fantasy;
+}
+
 std::vector<conf::Config> propose_batch(
     const conf::ConfigSpace& space, SurrogateOptions surrogate_options,
     AcquisitionKind kind, std::span<const Trial> history,
     std::size_t batch_size, util::Rng& rng,
     const AcqOptimizerOptions& options) {
-  // Hyperparameters are fit once on the real history; liar refits reuse
-  // them (a liar point should not distort the lengthscales).
+  // Hyperparameters are fit once on the real history; fantasy refits reuse
+  // them (a fantasy point should not distort the lengthscales).
   surrogate_options.hyperopt_every = 1 << 20;
   SurrogateModel model(space, surrogate_options, rng.split().next_u64());
   std::vector<Trial> augmented(history.begin(), history.end());
@@ -176,16 +197,7 @@ std::vector<conf::Config> propose_batch(
     }
     if (!candidate) break;  // space exhausted: fewer, but distinct, configs
     seen.insert(space.encode(*candidate));
-    // The lie: pretend the pending run returned the incumbent value. Its
-    // cost stays at zero so the cost GP (spent_seconds > 0 filter) and any
-    // ledger-derived statistics never see fabricated spend.
-    Trial lie;
-    lie.config = *candidate;
-    lie.outcome.feasible = true;
-    lie.outcome.objective =
-        model.ready() ? std::exp(model.incumbent_log()) : 1.0;
-    lie.outcome.spent_seconds = 0.0;
-    augmented.push_back(lie);
+    augmented.push_back(make_fantasy_trial(model, *candidate));
     batch.push_back(std::move(*candidate));
   }
   return batch;

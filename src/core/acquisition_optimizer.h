@@ -43,10 +43,22 @@ std::optional<conf::Config> propose_candidate(
     std::span<const Trial> history, util::Rng& rng,
     const AcqOptimizerOptions& options = {});
 
-/// Batch (parallel) proposals via the constant-liar heuristic: after each
-/// proposal, a fake observation at the incumbent value ("the lie") is
-/// appended and the surrogate is refit, pushing subsequent proposals away
-/// from the pending point. Returns up to `batch_size` distinct
+/// Kriging-believer fantasy for a pending evaluation at `config`: a tagged
+/// placeholder trial whose objective is the model's posterior mean there
+/// (the "believer" step of Ginsbourger's kriging believer), or +infinity —
+/// no belief at all, the trial only contributes dedup pressure — when the
+/// model is not ready. The trial carries `fantasized = true`, which
+/// excludes it from feasibility/cost training, incumbent updates, and
+/// neighborhood seeding (see SurrogateModel::update and Trial::succeeded).
+Trial make_fantasy_trial(const SurrogateModel& model,
+                         const conf::Config& config);
+
+/// Batch (parallel) proposals via the kriging-believer heuristic: after
+/// each proposal, a tagged fantasy observation at the model's posterior
+/// mean is appended and the surrogate is refit, pushing subsequent
+/// proposals away from the pending point. (Earlier revisions used a raw
+/// constant liar at the incumbent, whose untagged `feasible = true` label
+/// leaked into the feasibility GP.) Returns up to `batch_size` distinct
 /// configurations (fewer if the space is exhausted). Used when `batch_size`
 /// training runs can execute concurrently on separate clusters.
 std::vector<conf::Config> propose_batch(

@@ -5,6 +5,7 @@
 
 #include "analysis/space_lint.h"
 #include "config/sampler.h"
+#include "core/async_executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fs.h"
@@ -18,7 +19,19 @@ BoTuner::BoTuner(ObjectiveFunction& objective, BoOptions options)
       options_(std::move(options)),
       rng_(options_.seed),
       surrogate_(objective.space(), options_.surrogate,
-                 util::Rng(options_.seed).split().next_u64()) {
+                 util::Rng(options_.seed).split().next_u64()),
+      fantasy_model_(objective.space(), options_.surrogate,
+                     util::Rng(options_.seed ^ 0x517cc1b727220a95ULL)
+                         .split()
+                         .next_u64()) {
+  if (options_.async_q < 1) {
+    throw std::invalid_argument("BoTuner: async_q must be >= 1 (got " +
+                                std::to_string(options_.async_q) + ")");
+  }
+  if (options_.async_workers < 0) {
+    throw std::invalid_argument("BoTuner: async_workers must be >= 0 (got " +
+                                std::to_string(options_.async_workers) + ")");
+  }
   if (options_.acq_threads > 1) {
     acq_pool_ = std::make_unique<util::ThreadPool>(
         static_cast<std::size_t>(options_.acq_threads));
@@ -144,34 +157,36 @@ constexpr double kSpentHoursBuckets[] = {0.5, 1.0, 2.0, 4.0, 8.0,
 
 }  // namespace
 
+Trial BoTuner::consume_replay(const conf::Config& config) {
+  Trial trial = replay_[replay_cursor_];
+  // The journaled config went through a JSON round trip; the regenerated
+  // proposal is the bit-exact original. Verify they agree, then keep the
+  // proposal so the surrogate sees identical inputs to an uninterrupted
+  // run (any real divergence means the options or space changed).
+  const math::Vec a = objective_->space().encode(trial.config);
+  const math::Vec b = objective_->space().encode(config);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  if (a.size() != b.size() || max_diff > 1e-9) {
+    throw std::runtime_error(
+        "BoTuner: journal replay diverged at trial " +
+        std::to_string(replay_cursor_) + " (journaled " +
+        trial.config.to_string() + ", proposed " + config.to_string() +
+        "); the journal was written with different options or a "
+        "different space");
+  }
+  ++replay_cursor_;
+  trial.config = config;
+  objective_->notify_replayed(trial);
+  ADML_COUNT("tuner.replayed_trials", 1);
+  return trial;
+}
+
 Trial BoTuner::next_trial(const conf::Config& config, bool allow_early_term,
                           double incumbent) {
   ADML_SPAN("tuner.evaluate");
-  if (replay_cursor_ < replay_.size()) {
-    Trial trial = replay_[replay_cursor_];
-    // The journaled config went through a JSON round trip; the regenerated
-    // proposal is the bit-exact original. Verify they agree, then keep the
-    // proposal so the surrogate sees identical inputs to an uninterrupted
-    // run (any real divergence means the options or space changed).
-    const math::Vec a = objective_->space().encode(trial.config);
-    const math::Vec b = objective_->space().encode(config);
-    double max_diff = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-      max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
-    if (a.size() != b.size() || max_diff > 1e-9) {
-      throw std::runtime_error(
-          "BoTuner: journal replay diverged at trial " +
-          std::to_string(replay_cursor_) + " (journaled " +
-          trial.config.to_string() + ", proposed " + config.to_string() +
-          "); the journal was written with different options or a "
-          "different space");
-    }
-    ++replay_cursor_;
-    trial.config = config;
-    objective_->notify_replayed(trial);
-    ADML_COUNT("tuner.replayed_trials", 1);
-    return trial;
-  }
+  if (replay_cursor_ < replay_.size()) return consume_replay(config);
   Trial trial = evaluate(config, allow_early_term, incumbent);
   ADML_HISTOGRAM("tuner.trial_spent_hours", kSpentHoursBuckets,
                  trial.outcome.spent_seconds / 3600.0);
@@ -181,6 +196,177 @@ Trial BoTuner::next_trial(const conf::Config& config, bool allow_early_term,
     journal_->append(trial);
   }
   return trial;
+}
+
+/// One in-flight proposal of the ask/tell pipeline. Created on the main
+/// thread by ask(); the matching evaluation runs on the executor (or was
+/// replayed from the journal), and tell ingests it in index order.
+struct BoTuner::Proposal {
+  std::int64_t index = 0;
+  conf::Config config;
+  bool allow_early_term = false;
+  /// Incumbent snapshot at proposal time: the freshest deterministically
+  /// known best when this evaluation starts, so the early-termination
+  /// policy races in-flight runs against it (and reclaims the budget of
+  /// hopeless ones) without reading racy cross-thread state.
+  double incumbent = std::numeric_limits<double>::infinity();
+  /// Kriging-believer placeholder conditioning later asks (never trained
+  /// into feasibility/cost models, never journaled).
+  Trial fantasy;
+  /// Journal replay: the result was recovered at submit time instead of
+  /// being evaluated.
+  bool replayed = false;
+  Trial replayed_trial;
+};
+
+BoTuner::Proposal BoTuner::ask(const std::vector<conf::Config>& design,
+                               std::deque<Proposal>& pending,
+                               std::int64_t index,
+                               const TuningResult& result) {
+  Proposal p;
+  p.index = index;
+  p.incumbent = result.best_objective;
+  if (index < static_cast<std::int64_t>(design.size())) {
+    // Initial design: run to completion (uncensored anchors), exactly like
+    // the synchronous phase 1. No model is consulted, so the fantasy below
+    // carries no belief (+inf objective) and only dedups the pending point.
+    p.config = design[static_cast<std::size_t>(index)];
+    p.allow_early_term = false;
+    p.fantasy = make_fantasy_trial(surrogate_, p.config);
+    return p;
+  }
+  p.allow_early_term = true;
+  std::optional<conf::Config> candidate;
+  const SurrogateModel* model = &surrogate_;
+  if (pending.empty()) {
+    // Nothing in flight (async_q == 1, or the pipeline drained): identical
+    // to one synchronous phase-2 iteration — same model, same rng draws.
+    surrogate_.update(history_);
+    const bool explore = rng_.bernoulli(options_.random_interleave_prob);
+    if (surrogate_.ready() && !explore) {
+      ADML_SPAN("tuner.propose");
+      candidate = propose_candidate(surrogate_, options_.acquisition,
+                                    history_, rng_, options_.acq_optimizer);
+    }
+  } else {
+    // Pending evaluations: condition the proposal on the history plus the
+    // kriging-believer fantasies, so the acquisition repels the pending
+    // points instead of re-proposing next to them. The augmented view also
+    // dedups in-flight configs (propose_candidate rejects exact repeats).
+    std::vector<Trial> augmented = history_;
+    augmented.reserve(history_.size() + pending.size());
+    for (const Proposal& pe : pending) augmented.push_back(pe.fantasy);
+    fantasy_model_.update(augmented);
+    model = &fantasy_model_;
+    const bool explore = rng_.bernoulli(options_.random_interleave_prob);
+    if (fantasy_model_.ready() && !explore) {
+      ADML_SPAN("tuner.propose");
+      candidate =
+          propose_candidate(fantasy_model_, options_.acquisition, augmented,
+                            rng_, options_.acq_optimizer);
+    }
+  }
+  if (!candidate && model->degraded()) {
+    ADML_COUNT("tuner.fallback_proposals", 1);
+    candidate = fallback_config();
+  }
+  if (!candidate) {
+    ADML_COUNT("tuner.random_proposals", 1);
+    candidate = objective_->space().sample_uniform(rng_);
+  }
+  p.config = std::move(*candidate);
+  p.fantasy = make_fantasy_trial(*model, p.config);
+  return p;
+}
+
+void BoTuner::run_async(TuningResult& result,
+                        const std::function<bool()>& deadline_hit) {
+  const int q = options_.async_q;
+  const std::size_t workers = options_.async_workers > 0
+                                  ? static_cast<std::size_t>(
+                                        options_.async_workers)
+                                  : static_cast<std::size_t>(q);
+  // Objectives with per-run deterministic state run serialized (starts are
+  // still pipelined with proposal work); a concurrent-safe objective gets
+  // real q-way overlap. Either way results ingest in proposal order.
+  AsyncEvalExecutor executor(workers,
+                             !objective_->concurrent_runs_safe());
+  const std::vector<conf::Config> design = initial_configs();
+  std::deque<Proposal> pending;
+  std::int64_t next_index = 0;
+
+  // Budget gate at proposal time: everything recorded plus everything in
+  // flight counts against max_evaluations, so the pipeline never proposes
+  // an evaluation the budget cannot pay for.
+  const auto can_propose = [&] {
+    return static_cast<int>(result.trials.size()) +
+               static_cast<int>(pending.size()) < options_.max_evaluations &&
+           result.total_spent_seconds < options_.max_spent_seconds &&
+           !deadline_hit();
+  };
+
+  while (true) {
+    while (static_cast<int>(pending.size()) < q && can_propose()) {
+      Proposal p = ask(design, pending, next_index, result);
+      ++next_index;
+      if (replay_cursor_ < replay_.size()) {
+        // Recovered from the journal: no evaluation to schedule. The
+        // replay state advances *here*, at submit time, so the objective's
+        // per-run counters tick in proposal order relative to the live
+        // evaluations submitted after this one.
+        p.replayed = true;
+        p.replayed_trial = consume_replay(p.config);
+      } else {
+        executor.submit([this, config = p.config,
+                         allow_early_term = p.allow_early_term,
+                         incumbent = p.incumbent] {
+          return evaluate(config, allow_early_term, incumbent);
+        });
+      }
+      pending.push_back(std::move(p));
+      ADML_GAUGE_SET("tuner.in_flight",
+                     static_cast<double>(executor.in_flight()));
+      ADML_GAUGE_MAX("tuner.in_flight_peak",
+                     static_cast<double>(executor.in_flight()));
+    }
+    if (pending.empty()) break;
+
+    // Tell: ingest the oldest proposal's result. Strict FIFO — completion
+    // order never reaches this thread, so journal bytes, surrogate inputs,
+    // and rng state are one canonical sequence at any worker count.
+    Proposal front = std::move(pending.front());
+    pending.pop_front();
+    Trial trial;
+    if (front.replayed) {
+      trial = std::move(front.replayed_trial);
+      trial.proposal_index = front.index;
+    } else {
+      trial = executor.next_result();
+      trial.proposal_index = front.index;
+      ADML_HISTOGRAM("tuner.trial_spent_hours", kSpentHoursBuckets,
+                     trial.outcome.spent_seconds / 3600.0);
+      if (trial.outcome.aborted) ADML_COUNT("tuner.early_terminated", 1);
+      if (journal_) {
+        ADML_SPAN("tuner.journal_append");
+        journal_->append(trial);
+      }
+    }
+    ADML_GAUGE_SET("tuner.in_flight",
+                   static_cast<double>(executor.in_flight()));
+    ADML_DEBUG << "trial " << result.trials.size() << ": "
+               << trial.config.to_string() << " -> "
+               << (trial.succeeded() ? trial.outcome.objective : -1.0);
+    history_.push_back(trial);
+    record_trial(result, std::move(trial));
+  }
+
+  const util::ThreadPool::Stats stats = executor.pool_stats();
+  ADML_GAUGE_SET("threadpool.eval.submitted",
+                 static_cast<double>(stats.submitted));
+  ADML_GAUGE_SET("threadpool.eval.completed",
+                 static_cast<double>(stats.completed));
+  ADML_GAUGE_MAX("threadpool.eval.peak_queue_depth",
+                 static_cast<double>(stats.peak_queue_depth));
 }
 
 TuningResult BoTuner::tune() {
@@ -210,48 +396,55 @@ TuningResult BoTuner::tune() {
            !deadline_hit();
   };
 
-  // Phase 1: initial design, run to completion (uncensored anchors).
-  {
-    ADML_SPAN("tuner.initial_design");
-    for (const conf::Config& config : initial_configs()) {
-      if (!budget_left()) break;
-      Trial trial = next_trial(config, /*allow_early_term=*/false,
+  if (options_.async_q > 1 || options_.async_workers > 0) {
+    // Async pipeline: up to async_q proposals in flight, told back in
+    // strict proposal order. async_workers > 0 with async_q == 1 forces
+    // the pipeline at depth one, which reproduces the synchronous loop.
+    run_async(result, deadline_hit);
+  } else {
+    // Phase 1: initial design, run to completion (uncensored anchors).
+    {
+      ADML_SPAN("tuner.initial_design");
+      for (const conf::Config& config : initial_configs()) {
+        if (!budget_left()) break;
+        Trial trial = next_trial(config, /*allow_early_term=*/false,
+                                 result.best_objective);
+        history_.push_back(trial);
+        record_trial(result, std::move(trial));
+      }
+    }
+
+    // Phase 2: model-guided search.
+    while (budget_left()) {
+      ADML_SPAN("tuner.iteration");
+      surrogate_.update(history_);
+      std::optional<conf::Config> candidate;
+      const bool explore = rng_.bernoulli(options_.random_interleave_prob);
+      if (surrogate_.ready() && !explore) {
+        ADML_SPAN("tuner.propose");
+        candidate = propose_candidate(surrogate_, options_.acquisition,
+                                      history_, rng_, options_.acq_optimizer);
+      }
+      if (!candidate && surrogate_.degraded()) {
+        // Degraded surrogate: no posterior to maximize, but the run should
+        // still make progress. Quasi-random coverage beats iid uniform
+        // here, and the dedicated stream keeps it reproducible (see
+        // fallback_config).
+        ADML_COUNT("tuner.fallback_proposals", 1);
+        candidate = fallback_config();
+      }
+      if (!candidate) {
+        ADML_COUNT("tuner.random_proposals", 1);
+        candidate = objective_->space().sample_uniform(rng_);
+      }
+      Trial trial = next_trial(*candidate, /*allow_early_term=*/true,
                                result.best_objective);
+      ADML_DEBUG << "trial " << result.trials.size() << ": "
+                 << trial.config.to_string() << " -> "
+                 << (trial.succeeded() ? trial.outcome.objective : -1.0);
       history_.push_back(trial);
       record_trial(result, std::move(trial));
     }
-  }
-
-  // Phase 2: model-guided search.
-  while (budget_left()) {
-    ADML_SPAN("tuner.iteration");
-    surrogate_.update(history_);
-    std::optional<conf::Config> candidate;
-    const bool explore = rng_.bernoulli(options_.random_interleave_prob);
-    if (surrogate_.ready() && !explore) {
-      ADML_SPAN("tuner.propose");
-      candidate = propose_candidate(surrogate_, options_.acquisition,
-                                    history_, rng_, options_.acq_optimizer);
-    }
-    if (!candidate && surrogate_.degraded()) {
-      // Degraded surrogate: no posterior to maximize, but the run should
-      // still make progress. Quasi-random coverage beats iid uniform here,
-      // and the dedicated stream keeps it reproducible (see
-      // fallback_config).
-      ADML_COUNT("tuner.fallback_proposals", 1);
-      candidate = fallback_config();
-    }
-    if (!candidate) {
-      ADML_COUNT("tuner.random_proposals", 1);
-      candidate = objective_->space().sample_uniform(rng_);
-    }
-    Trial trial = next_trial(*candidate, /*allow_early_term=*/true,
-                             result.best_objective);
-    ADML_DEBUG << "trial " << result.trials.size() << ": "
-               << trial.config.to_string() << " -> "
-               << (trial.succeeded() ? trial.outcome.objective : -1.0);
-    history_.push_back(trial);
-    record_trial(result, std::move(trial));
   }
 
   // Leave the surrogate fitted on everything seen (sensitivity analysis) —

@@ -21,6 +21,7 @@
 // so the continuation is bit-identical to an uninterrupted run.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -65,6 +66,22 @@ struct BoOptions {
   /// (see AcqOptimizerOptions::pool for the determinism contract), so this
   /// only changes latency, never results.
   int acq_threads = 1;
+  /// Keep up to async_q evaluations in flight on a dedicated executor pool
+  /// (1 = the classic synchronous loop). Proposals made while evaluations
+  /// are pending are conditioned on kriging-believer fantasies of the
+  /// pending points (see make_fantasy_trial); results are ingested,
+  /// journaled, and folded into the surrogate strictly in proposal order,
+  /// so incumbents are bit-identical and journals byte-identical at any
+  /// async_workers count. Resume requires the same async_q (like seed).
+  /// Budget note: max_spent_seconds is checked at proposal time, so an
+  /// async run can overshoot it by up to async_q in-flight evaluations
+  /// (the synchronous loop already overshoots by one).
+  int async_q = 1;
+  /// Executor worker threads for async evaluation (0 = use async_q).
+  /// Changes latency only, never results. Setting this with async_q == 1
+  /// forces the async pipeline at depth one, which reproduces the
+  /// synchronous loop's trial sequence bit for bit (tested).
+  int async_workers = 0;
   std::uint64_t seed = 1;
 };
 
@@ -82,6 +99,8 @@ class BoTuner {
   std::size_t replayed_trials() const { return replay_cursor_; }
 
  private:
+  struct Proposal;  // pending ask/tell bookkeeping (see bo_tuner.cpp)
+
   Trial evaluate(const conf::Config& config, bool allow_early_term,
                  double incumbent);
   /// Journal-aware evaluation: replays the next journaled trial when one is
@@ -89,6 +108,20 @@ class BoTuner {
   /// journals the result before returning.
   Trial next_trial(const conf::Config& config, bool allow_early_term,
                    double incumbent);
+  /// Pops the next journaled trial, verifying it matches the regenerated
+  /// proposal `config`, and advances the objective's replay state.
+  Trial consume_replay(const conf::Config& config);
+  /// The ask half of the ask/tell split: the next proposal, conditioned on
+  /// the history plus kriging-believer fantasies of every pending proposal.
+  /// Deterministic — all rng draws happen here, on the caller's thread.
+  Proposal ask(const std::vector<conf::Config>& design,
+               std::deque<Proposal>& pending, std::int64_t index,
+               const TuningResult& result);
+  /// The async pipeline behind tune() when async_q > 1 (or async_workers
+  /// forces it): fill the executor to async_q proposals, then tell results
+  /// back in strict proposal order.
+  void run_async(TuningResult& result,
+                 const std::function<bool()>& deadline_hit);
   std::vector<conf::Config> initial_configs();
   /// Quasi-random proposal used while the surrogate is degraded. Driven by
   /// a dedicated seed-derived Halton stream — not rng_ and not the thread
@@ -101,6 +134,10 @@ class BoTuner {
   util::Rng rng_;
   std::unique_ptr<util::ThreadPool> acq_pool_;  // when acq_threads > 1
   SurrogateModel surrogate_;
+  /// Async mode only: the surrogate refit on history + pending fantasies.
+  /// Kept separate from surrogate_ so fantasy beliefs never leak into the
+  /// model the sensitivity analysis (and the final fit) reads.
+  SurrogateModel fantasy_model_;
   std::vector<Trial> history_;  // warm start + own trials
   std::vector<Trial> replay_;  // journaled trials pending replay
   std::size_t replay_cursor_ = 0;

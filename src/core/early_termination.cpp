@@ -13,6 +13,20 @@ EarlyTerminationPolicy::EarlyTerminationPolicy(EarlyTermOptions options,
 
 void EarlyTerminationPolicy::on_run_start(double usd_per_hour) {
   usd_per_hour_ = usd_per_hour;
+  // Attempt boundary (see RunController::on_run_start): every verdict
+  // accumulated against the previous attempt resets here. The confirmation
+  // streak must be re-earned — inherited, it could kill a fresh retry at
+  // its very first checkpoint. The streamed curve resets with it: a
+  // restarted attempt replays the same configuration's learning curve from
+  // wall-clock zero, so its samples are *replicates* of the old points,
+  // not a continuation — keeping them would violate the curve fitter's
+  // strictly-increasing-samples precondition and leave every later fit
+  // failing (a hopeless retry could then never be killed at all).
+  hopeless_streak_ = 0;
+  last_projection_ = std::numeric_limits<double>::infinity();
+  samples_.clear();
+  metrics_.clear();
+  times_.clear();
 }
 
 bool EarlyTerminationPolicy::should_abort(const RunCheckpoint& checkpoint) {

@@ -1,5 +1,6 @@
 #include "core/session_io.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -128,6 +129,13 @@ util::JsonValue trial_to_json(const Trial& trial) {
   util::JsonObject out;
   out.emplace("config", std::move(config));
   out.emplace("outcome", std::move(outcome));
+  // Only async sessions stamp a proposal index; the synchronous path omits
+  // the field entirely so its journals stay byte-identical to pre-async
+  // revisions (and resumable by them).
+  if (trial.proposal_index >= 0) {
+    out.emplace("proposal_index",
+                util::JsonValue(static_cast<double>(trial.proposal_index)));
+  }
   return util::JsonValue(std::move(out));
 }
 
@@ -188,6 +196,13 @@ Trial trial_from_json(const util::JsonValue& value,
       !outcome.at("projected_objective").is_null()) {
     trial.outcome.projected_objective =
         require_number(outcome, "projected_objective", "outcome");
+  }
+  if (value.contains("proposal_index")) {
+    const double index = require_number(value, "proposal_index", "trial");
+    if (index < 0.0)
+      throw std::invalid_argument(
+          "session: trial: 'proposal_index' must be >= 0");
+    trial.proposal_index = static_cast<std::int64_t>(index);
   }
   return trial;
 }
@@ -343,6 +358,31 @@ LoadedJournal load_journal(const std::string& path,
       }
       throw std::invalid_argument(path + ": corrupt journal record " +
                                   std::to_string(i) + ": " + e.what());
+    }
+  }
+  // Out-of-order tolerance: async sessions stamp every record with its
+  // proposal index, so replay order is defined by the index, not by append
+  // order. (The in-tree writer ingests FIFO and appends in index order; the
+  // sort is the schema's contract for any conforming writer.) A journal
+  // whose records only partially carry indices is positional, like a
+  // legacy journal.
+  const bool all_indexed =
+      !out.trials.empty() &&
+      std::all_of(out.trials.begin(), out.trials.end(),
+                  [](const Trial& t) { return t.proposal_index >= 0; });
+  if (all_indexed) {
+    std::stable_sort(out.trials.begin(), out.trials.end(),
+                     [](const Trial& a, const Trial& b) {
+                       return a.proposal_index < b.proposal_index;
+                     });
+    for (std::size_t i = 0; i < out.trials.size(); ++i) {
+      if (out.trials[i].proposal_index != static_cast<std::int64_t>(i)) {
+        throw std::invalid_argument(
+            path + ": journal proposal indices are not contiguous (record " +
+            std::to_string(i) + " carries index " +
+            std::to_string(out.trials[i].proposal_index) +
+            "); the journal lost a record and cannot be replayed");
+      }
     }
   }
   return out;

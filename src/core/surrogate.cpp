@@ -44,6 +44,19 @@ void SurrogateModel::update(std::span<const Trial> trials) {
   std::vector<double> real_y;  // completed runs only: defines the incumbent
   for (const Trial& t : trials) {
     const math::Vec x = space_->encode(t.config);
+    if (t.fantasized) {
+      // Kriging-believer fantasy for a pending evaluation: a belief about
+      // the objective, not an observation. It conditions the objective
+      // posterior so batch proposals repel each other, but a fabricated
+      // `feasible = true` label or zero-cost sample would corrupt the
+      // feasibility and cost models (and a posterior mean below the best
+      // real run would fake an incumbent), so everything else skips it.
+      if (std::isfinite(t.outcome.objective)) {
+        ok_x.push_back(x);
+        ok_y.push_back(std::log(std::max(t.outcome.objective, 1e-9)));
+      }
+      continue;
+    }
     // Transient failures (preemption, infra crash) say nothing about the
     // configuration — training on them would carve phantom infeasible
     // regions out of the search space, so they are excluded here.

@@ -28,7 +28,15 @@ struct RunCheckpoint {
 class RunController {
  public:
   virtual ~RunController() = default;
-  /// Called once when the run starts (before any checkpoint).
+  /// Called once per *attempt*, before that attempt's first checkpoint (a
+  /// supervisor retry calls it again). Implementations must treat the call
+  /// as an attempt boundary: all state accumulated against a previous
+  /// attempt — verdict streaks and streamed curve points alike — must be
+  /// discarded. A restarted attempt re-streams the same configuration's
+  /// learning curve from wall-clock zero, so its checkpoints are
+  /// *replicates* of the previous attempt's, not a continuation; judging
+  /// the new attempt on its own curve keeps monotone-in-samples fitters
+  /// sound and makes verdicts independent of how many retries preceded.
   virtual void on_run_start(double usd_per_hour) { (void)usd_per_hour; }
   /// Return true to abort the run at this checkpoint.
   virtual bool should_abort(const RunCheckpoint& checkpoint) = 0;
@@ -63,8 +71,24 @@ struct RunOutcome {
 struct Trial {
   conf::Config config;
   RunOutcome outcome;
+  /// Fantasized (kriging-believer) placeholder for a *pending* evaluation:
+  /// the outcome holds a belief about the objective, not an observation.
+  /// Fantasy trials condition the objective posterior so parallel proposals
+  /// spread out, but they must never train the feasibility or cost models,
+  /// move the incumbent, or be journaled/recorded.
+  bool fantasized = false;
+  /// Position in the tuner's proposal sequence (0-based), stamped on
+  /// journaled trials by the async executor path; -1 when unassigned (the
+  /// synchronous path, whose journal order *is* the proposal order).
+  /// Journal replay sorts by it, so resume tolerates out-of-order records.
+  std::int64_t proposal_index = -1;
 
-  bool succeeded() const { return outcome.feasible && !outcome.aborted; }
+  /// A real, completed, feasible observation. Fantasy placeholders are
+  /// never "succeeded": they must not rank as incumbents or seed local
+  /// search neighborhoods.
+  bool succeeded() const {
+    return outcome.feasible && !outcome.aborted && !fantasized;
+  }
 };
 
 /// The black box: configuration in, (possibly aborted) outcome out.
@@ -79,6 +103,14 @@ class ObjectiveFunction {
   virtual double target_metric() const = 0;
   /// True when the objective is dollars rather than seconds.
   virtual bool objective_is_cost() const { return false; }
+  /// True when run() may be invoked from several threads at once. The
+  /// default is false: the async executor then serializes run() calls in
+  /// proposal order (results still overlap with proposal work), which keeps
+  /// objectives with per-run deterministic state (seed-derived rng streams,
+  /// run counters) bit-identical at any worker count. Override to true only
+  /// when the implementation is thread-safe AND its results are independent
+  /// of run() interleaving.
+  virtual bool concurrent_runs_safe() const { return false; }
   /// Crash-safe resume: the tuner recovered `trial` from its journal
   /// instead of calling run(). Implementations must advance any per-run
   /// deterministic state (seed-derived rng streams, attempt counters)

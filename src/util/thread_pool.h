@@ -1,12 +1,14 @@
 // Fixed-size thread pool.
 //
 // Used by benches to replicate stochastic experiments across seeds in
-// parallel, and by the BO inner loop to score acquisition candidates
+// parallel, by the BO inner loop to score acquisition candidates
 // concurrently (core::propose_candidate writes into per-index slots and
 // reduces with a deterministic lowest-index argmax, so results are
-// bit-identical at any thread count). baselines::parallel_bo still
-// *simulates* q-way evaluation parallelism with constant-liar batches and
-// wall-clock accounting — evaluations never run on threads.
+// bit-identical at any thread count), and by core::AsyncEvalExecutor to
+// keep async_q evaluations in flight with ticket-ordered starts and FIFO
+// ingestion. baselines::parallel_bo still *simulates* q-way evaluation
+// parallelism with kriging-believer batches and wall-clock accounting —
+// its evaluations never run on threads.
 //
 // Shutdown contract: the destructor marks the pool stopped, wakes every
 // worker, and joins. Workers keep pulling until the queue is drained, so

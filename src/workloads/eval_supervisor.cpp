@@ -28,9 +28,14 @@ EvalResult EvalSupervisor::run_attempt(const conf::Config& config,
   const bool has_timeout = std::isfinite(policy_.attempt_timeout_seconds);
   if (controller == nullptr && !has_timeout) return run->result();
 
-  // Checkpoints from retried attempts keep feeding the same controller:
-  // they are replicate observations of the same configuration's learning
-  // curve, so the early-termination fit only gains data.
+  // The on_run_start call below is the attempt boundary the controller
+  // contract promises — it must happen once per attempt (not once per
+  // evaluation), so the controller can discard state accumulated against a
+  // previous attempt: the confirmation streak (inherited, it could kill a
+  // fresh retry at its first checkpoint) and the streamed curve points (a
+  // retry re-streams the same curve from wall-clock zero, so the old
+  // points would be non-monotone replicates that break the curve fit).
+  // See RunController::on_run_start and EarlyTerminationPolicy.
   if (controller != nullptr) controller->on_run_start(run->usd_per_hour());
   while (auto checkpoint = run->next_checkpoint()) {
     if (has_timeout &&

@@ -216,14 +216,12 @@ TEST(ProposeBatch, UniformFallbackRespectsEvaluatedConfigs) {
   }
 }
 
-TEST(ProposeBatch, LiarTrialsCarryNoFabricatedCost) {
-  // Replay propose_batch's constant-liar loop by hand: fit on the real
-  // history, propose, append a lie at the incumbent objective with *zero*
-  // cost, repeat. propose_batch must produce the identical batch — if it
-  // fabricated a cost for the lie (the old bug set spent_seconds to the
-  // objective, feeding fake observations into the cost GP), the cost-aware
-  // acquisition surface would diverge from this reference on the second
-  // proposal.
+TEST(ProposeBatch, BatchMirrorsKrigingBelieverByHand) {
+  // Replay propose_batch's kriging-believer loop by hand: fit on the real
+  // history, propose, append a make_fantasy_trial belief at the posterior
+  // mean, repeat. propose_batch must produce the identical batch — any
+  // divergence means its internal fantasy construction drifted from the
+  // documented heuristic (e.g. the removed constant liar at the incumbent).
   SyntheticObjective objective;
   const auto history = quadratic_history(objective, 25, 19);
 
@@ -246,12 +244,78 @@ TEST(ProposeBatch, LiarTrialsCarryNoFabricatedCost) {
         model, AcquisitionKind::kEiPerCost, augmented, mirror_rng);
     ASSERT_TRUE(expected.has_value());
     EXPECT_TRUE(batch[i] == *expected) << "batch member " << i;
-    Trial lie;
-    lie.config = *expected;
-    lie.outcome.feasible = true;
-    lie.outcome.objective = std::exp(model.incumbent_log());
-    lie.outcome.spent_seconds = 0.0;  // the contract under test
-    augmented.push_back(std::move(lie));
+    augmented.push_back(make_fantasy_trial(model, *expected));
+  }
+}
+
+TEST(MakeFantasyTrial, BelievesThePosteriorMeanAndNeverCountsAsSuccess) {
+  SyntheticObjective objective;
+  SurrogateModel model(objective.space(), {}, 1);
+  const auto history = quadratic_history(objective, 20, 29);
+  conf::Config probe = objective.space().default_config();
+  probe.set_double("x", 0.5);
+
+  // Not ready: no belief — the fantasy only dedups the pending config.
+  // (The removed constant-liar code fabricated objective = 1.0 here.)
+  const Trial blind = make_fantasy_trial(model, probe);
+  EXPECT_TRUE(blind.fantasized);
+  EXPECT_FALSE(blind.succeeded());
+  EXPECT_TRUE(std::isinf(blind.outcome.objective));
+
+  model.update(history);
+  ASSERT_TRUE(model.ready());
+  const Trial fantasy = make_fantasy_trial(model, probe);
+  EXPECT_TRUE(fantasy.fantasized);
+  EXPECT_FALSE(fantasy.succeeded());  // never an incumbent / neighborhood seed
+  EXPECT_DOUBLE_EQ(fantasy.outcome.objective,
+                   std::exp(model.score(probe).mean));
+  EXPECT_DOUBLE_EQ(fantasy.outcome.spent_seconds, 0.0);
+}
+
+TEST(MakeFantasyTrial, FantasiesLeaveFeasibilityAndCostModelsUntouched) {
+  // Regression for the constant-liar leak: batch placeholders are labeled
+  // `feasible = true`, and untagged they trained the feasibility GP toward
+  // "feasible" at pending points — in the worst case inside a known crash
+  // region. A model fit on history + fantasies must score feasibility,
+  // cost, and the incumbent exactly as a history-only fit does.
+  SyntheticObjective objective;
+  std::vector<Trial> history = quadratic_history(objective, 18, 31);
+  util::Rng rng(32);
+  for (int i = 0; i < 6; ++i) {  // teach the model a real crash region
+    conf::Config c = objective.space().sample_uniform(rng);
+    c.set_double("x", 0.93 + 0.01 * i);
+    Trial t;
+    t.config = c;
+    t.outcome.feasible = false;
+    t.outcome.failure = "crash region";
+    t.outcome.spent_seconds = 1.0;
+    history.push_back(std::move(t));
+  }
+
+  SurrogateModel plain(objective.space(), {}, 7);
+  plain.update(history);
+  ASSERT_TRUE(plain.ready());
+
+  // Fantasize pending evaluations *inside* the crash region — the most
+  // damaging spot for a leaked `feasible = true` label.
+  std::vector<Trial> augmented = history;
+  for (double x : {0.94, 0.96, 0.98}) {
+    conf::Config c = objective.space().default_config();
+    c.set_double("x", x);
+    augmented.push_back(make_fantasy_trial(plain, c));
+  }
+  SurrogateModel with_fantasies(objective.space(), {}, 7);
+  with_fantasies.update(augmented);
+  ASSERT_TRUE(with_fantasies.ready());
+
+  EXPECT_DOUBLE_EQ(with_fantasies.incumbent_log(), plain.incumbent_log());
+  util::Rng probe_rng(33);
+  for (int i = 0; i < 12; ++i) {
+    conf::Config probe = objective.space().sample_uniform(probe_rng);
+    const SurrogateScore a = plain.score(probe);
+    const SurrogateScore b = with_fantasies.score(probe);
+    EXPECT_DOUBLE_EQ(a.prob_feasible, b.prob_feasible) << probe.to_string();
+    EXPECT_DOUBLE_EQ(a.log_cost, b.log_cost) << probe.to_string();
   }
 }
 

@@ -100,6 +100,33 @@ TEST(EarlyTermination, ConfirmationStreakRequired) {
   EXPECT_GE(killed_many, killed_few + 3);
 }
 
+TEST(EarlyTermination, RetryAttemptStartsFromACleanSlate) {
+  // Regression: on_run_start used to reset only the dollar rate. Two
+  // distinct failures followed. The inherited confirmation streak could
+  // kill a fresh retry at its very first checkpoint; and the inherited
+  // checkpoint history — a retry re-streams the curve from wall-clock
+  // zero, so the old points are non-monotone replicates — violated the
+  // curve fitter's strictly-increasing-samples precondition, leaving every
+  // later fit failing, the streak perpetually reset, and a genuinely
+  // hopeless retry unkillable. A retry must be judged exactly like a first
+  // attempt: same verdicts, same kill checkpoint.
+  EarlyTermOptions options = options_for();
+  options.confirmations = 3;
+  EarlyTerminationPolicy policy(options, /*incumbent=*/1.0);
+  policy.on_run_start(/*usd_per_hour=*/0.0);
+  const auto cps = make_curve(1e6, 0.9, 40);  // hopeless at every checkpoint
+  const int killed_first = feed_until_abort(policy, cps);
+  ASSERT_GT(killed_first, 0);  // streak == confirmations at the abort
+
+  // The attempt dies (say, to a transient infra failure) and the
+  // supervisor retries, re-announcing the attempt via on_run_start.
+  policy.on_run_start(/*usd_per_hour=*/0.0);
+  const int killed_retry = feed_until_abort(policy, cps);
+  ASSERT_GT(killed_retry, 0);                         // still killable
+  EXPECT_GE(killed_retry, options.confirmations);     // not insta-aborted
+  EXPECT_EQ(killed_retry, killed_first);              // judged like attempt 1
+}
+
 TEST(EarlyTermination, DisabledPolicyNeverKills) {
   EarlyTermOptions options = options_for();
   options.enabled = false;

@@ -1,0 +1,32 @@
+// Fixture: ad-hoc thread spawning on a core path. Never compiled —
+// scanned by lint_tool_test. Work above src/util must run on
+// util::ThreadPool; raw threads skip its ordering/join guarantees and are
+// invisible to -Wthread-safety (see D010).
+#include <thread>  // expect(D010)
+
+#include <future>  // legal: futures are ThreadPool::submit's return type
+
+namespace fixture {
+
+void fire_and_forget() {
+  std::thread worker([] {});  // expect(D010)
+  worker.detach();
+  std::jthread scoped([] {});  // expect(D010)
+}
+
+int eager() {
+  auto f = std::async([] { return 7; });  // expect(D010)
+  return f.get();
+}
+
+// A pool consumer holding a result is clean: no spawn happens here.
+std::future<int> pending_result;
+
+// Needles in comments and strings stay inert: std::thread, std::async.
+const char* kDoc = "docs may say std::jthread without firing";
+
+// A justified suppression silences the finding (e.g. a platform probe).
+const unsigned kCores =
+    std::thread::hardware_concurrency();  // adml-lint: allow(D010 query only, nothing is spawned)
+
+}  // namespace fixture

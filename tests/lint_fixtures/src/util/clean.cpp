@@ -2,6 +2,7 @@
 // the comment/string state machine and justified suppressions.
 #include <map>
 #include <string>
+#include <thread>  // legal: src/util owns the thread primitives
 
 #include "util/annotations.h"
 #include "util/rng.h"
@@ -24,5 +25,12 @@ double draw(autodml::util::Rng& rng) { return rng.next_double(); }
 
 // Raw strings hide needles too.
 const char* kRaw = R"(std::rand() inside a raw string)";
+
+// src/util IS the concurrency layer: raw thread primitives are legal here
+// (D010 fires on them everywhere else).
+struct PoolLike {
+  void spawn() { workers.emplace_back(); }
+  std::vector<std::thread> workers;
+};
 
 }  // namespace fixture

@@ -5,7 +5,9 @@
 
 #include <cmath>
 
+#include "core/early_termination.h"
 #include "core/surrogate.h"
+#include "ml/convergence.h"
 #include "workloads/eval_supervisor.h"
 #include "workloads/objective_adapter.h"
 
@@ -141,6 +143,82 @@ TEST(Supervisor, RetryCanRecoverAnEvaluation) {
     recovered = out.result.feasible && out.attempts > 1;
   }
   EXPECT_TRUE(recovered);
+}
+
+TEST(Supervisor, AttemptBoundaryIsAnnouncedBeforeAnyCheckpoint) {
+  // run_attempt's contract: every attempt that streams checkpoints first
+  // announces itself through on_run_start, so controllers can reset
+  // per-attempt verdict state (the early-termination confirmation streak).
+  struct SpyController final : core::RunController {
+    int starts = 0;
+    int checkpoints = 0;
+    bool checkpoint_before_start = false;
+    void on_run_start(double) override { ++starts; }
+    bool should_abort(const core::RunCheckpoint&) override {
+      if (starts == 0) checkpoint_before_start = true;
+      ++checkpoints;
+      return false;
+    }
+  };
+  Evaluator evaluator(test_workload(), 5, EvaluatorOptions{});
+  EvalSupervisor supervisor(evaluator, RetryPolicy{}, 5);
+  SpyController spy;
+  const SupervisedOutcome out =
+      supervisor.evaluate(expert_config(evaluator), &spy);
+  EXPECT_TRUE(out.result.feasible);
+  EXPECT_EQ(spy.starts, 1);
+  EXPECT_GT(spy.checkpoints, 0);
+  EXPECT_FALSE(spy.checkpoint_before_start);
+}
+
+TEST(Supervisor, EarlyTerminationStaysSoundAfterARetriedFirstAttempt) {
+  // Regression (companion to the policy-level test in early_term_test):
+  // on_run_start used to carry the hopeless streak and the streamed
+  // checkpoints across attempts. The inherited streak could insta-abort a
+  // fresh retry at its first checkpoint, and the inherited points — a
+  // retry re-streams the curve from wall-clock zero, so they arrive as
+  // non-monotone replicates — broke every later curve fit, so a genuinely
+  // hopeless retry could never be killed at all. Feed the policy a doomed
+  // first attempt by hand (checkpoints on the configuration's own curve),
+  // then run a supervised evaluation with it: run_attempt's on_run_start
+  // must reset the verdict state, and the evaluation must still be killed
+  // on this attempt's own evidence.
+  Evaluator probe(test_workload(), 5, EvaluatorOptions{});
+  const conf::Config config = expert_config(probe);
+  const EvalResult truth = probe.evaluate_ground_truth(config);
+  ASSERT_TRUE(truth.feasible);
+  ASSERT_GT(truth.tta_seconds, 600.0);  // streams enough real checkpoints
+
+  core::EarlyTermOptions term;
+  term.target_metric = test_workload().stat.target_metric;
+  term.min_checkpoints = 6;
+  term.confirmations = 2;
+  core::EarlyTerminationPolicy policy(term,
+                                      /*incumbent=*/truth.tta_seconds / 100.0);
+
+  // "First attempt": six checkpoints of the config's own curve — hopeless
+  // against an incumbent 100x faster — building verdict state (streak one
+  // short of the kill) before the attempt dies transiently.
+  policy.on_run_start(truth.usd_per_hour);
+  for (int k = 1; k <= 6; ++k) {
+    core::RunCheckpoint cp;
+    cp.wall_seconds = truth.tta_seconds * k / 40.0;
+    cp.samples = truth.runtime.samples_per_second * cp.wall_seconds;
+    cp.metric =
+        ml::metric_at(test_workload().stat, cp.samples, truth.samples_needed);
+    ASSERT_FALSE(policy.should_abort(cp)) << "checkpoint " << k;
+  }
+
+  Evaluator evaluator(test_workload(), 5, EvaluatorOptions{});
+  EvalSupervisor supervisor(evaluator, RetryPolicy{}, 5);
+  const SupervisedOutcome out = supervisor.evaluate(config, &policy);
+  // Killed — but on the retry's own evidence: at least min_checkpoints +
+  // confirmations - 1 checkpoints (60s apart) streamed first. An inherited
+  // streak would have aborted at the first checkpoint; inherited points
+  // would have prevented the abort entirely.
+  EXPECT_TRUE(out.result.terminated_early);
+  EXPECT_GE(out.result.spent_seconds,
+            (term.min_checkpoints + term.confirmations - 1) * 60.0);
 }
 
 TEST(Supervisor, FeasibilityModelIgnoresTransientFailures) {

@@ -13,6 +13,7 @@
 //   adml-chaos --cli=PATH [--workload=W] [--evals=N] [--seeds=1,2,3]
 //              [--target-cycles=200] [--max-kill-hit=60]
 //              [--workdir=DIR] [--chaos-seed=S] [--refit-every=K]
+//              [--async-q=Q]
 //
 // Exit 0 when --target-cycles kill/resume cycles all recovered and every
 // completed session matched its reference; nonzero (with the offending
@@ -53,13 +54,16 @@ struct SessionPaths {
 
 std::string tune_command(const std::string& cli, const std::string& workload,
                          int evals, std::uint64_t seed, int refit_every,
-                         const SessionPaths& paths) {
-  return cli + " tune --workload=" + workload +
-         " --evals=" + std::to_string(evals) +
-         " --seed=" + std::to_string(seed) +
-         " --refit-every=" + std::to_string(refit_every) +
-         " --journal=" + paths.journal + " --session=" + paths.session +
-         " >/dev/null 2>&1";
+                         int async_q, const SessionPaths& paths) {
+  std::string command = cli + " tune --workload=" + workload +
+                        " --evals=" + std::to_string(evals) +
+                        " --seed=" + std::to_string(seed) +
+                        " --refit-every=" + std::to_string(refit_every);
+  // Async sessions must resume with the q they were written with, so the
+  // flag goes on every child invocation (reference, kill, and resume).
+  if (async_q > 1) command += " --async-q=" + std::to_string(async_q);
+  return command + " --journal=" + paths.journal +
+         " --session=" + paths.session + " >/dev/null 2>&1";
 }
 
 bool files_identical(const std::string& a, const std::string& b,
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
   const std::string workload = args.get("workload", "logreg-ads");
   const int evals = static_cast<int>(args.get_int("evals", 10));
   const int refit_every = static_cast<int>(args.get_int("refit-every", 1));
+  const int async_q = static_cast<int>(args.get_int("async-q", 1));
   const int target_cycles =
       static_cast<int>(args.get_int("target-cycles", 200));
   const int max_kill_hit =
@@ -119,7 +124,7 @@ int main(int argc, char** argv) {
     fs::remove(ref.journal, ec);
     fs::remove(ref.session, ec);
     const int code =
-        run(tune_command(cli, workload, evals, seed, refit_every, ref));
+        run(tune_command(cli, workload, evals, seed, refit_every, async_q, ref));
     if (code != 0 && code != 2) {
       std::fprintf(stderr,
                    "adml-chaos: reference run (seed %llu) exited %d\n",
@@ -159,7 +164,8 @@ int main(int argc, char** argv) {
     const auto kill_hit = rng.uniform_int(1, max_kill_hit + 1);
     const std::string command =
         "ADML_CRASH_AFTER=" + std::to_string(kill_hit) + " " +
-        tune_command(cli, workload, evals, seeds[i], refit_every, live[i]);
+        tune_command(cli, workload, evals, seeds[i], refit_every, async_q,
+                     live[i]);
     const int code = run(command);
     runs += 1;
     if (code == autodml::util::chaos::kCrashExitCode) {
@@ -210,7 +216,7 @@ int main(int argc, char** argv) {
     if (!active[i]) continue;
     const int code =
         run(tune_command(cli, workload, evals, seeds[i], refit_every,
-                         live[i]));
+                         async_q, live[i]));
     runs += 1;
     std::string detail;
     if (code != ref_exits[i] ||

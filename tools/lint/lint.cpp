@@ -171,6 +171,7 @@ struct PathInfo {
   bool in_src = false;
   bool in_tools = false;
   bool is_annotations = false;  // src/util/annotations.h
+  bool is_util = false;         // src/util/ (the concurrency layer)
   bool is_util_rng = false;     // src/util/rng.{h,cpp}
   bool is_obs = false;          // src/obs/
   bool deterministic = false;   // dirs where wall clocks are banned
@@ -214,6 +215,7 @@ PathInfo classify(std::string_view path) {
   info.in_src = starts_with(rel, "src/");
   info.in_tools = starts_with(rel, "tools/");
   info.is_annotations = rel == "src/util/annotations.h";
+  info.is_util = starts_with(rel, "src/util/");
   info.is_util_rng = starts_with(rel, "src/util/rng.");
   info.is_obs = starts_with(rel, "src/obs/");
 
@@ -320,6 +322,17 @@ constexpr std::array<Needle, 4> kUnorderedNeedles = {{
     {"std::unordered_set"},
     {"std::unordered_multimap"},
     {"std::unordered_multiset"},
+}};
+
+/// Raw thread-spawning primitives. Everything above src/util must run work
+/// on util::ThreadPool / util::AsyncEvalExecutor-style seams: ad-hoc
+/// threads are invisible to -Wthread-safety, skip the pool's submission
+/// ordering (the determinism contract for proposals and the async
+/// executor), and leak past the scoped join the pool guarantees.
+constexpr std::array<Needle, 3> kRawThreadNeedles = {{
+    {"std::thread", /*token=*/true},
+    {"std::jthread", /*token=*/true},
+    {"std::async", /*token=*/true},
 }};
 
 constexpr std::array<Needle, 10> kRawMutexNeedles = {{
@@ -563,6 +576,23 @@ class FileScan {
       }
     }
 
+    // D010: ad-hoc thread spawning outside the concurrency layer.
+    if ((info_.in_src || info_.in_tools) && !info_.is_util) {
+      const bool use = match_any(code, "", kRawThreadNeedles.data(),
+                                 kRawThreadNeedles.size());
+      // <future> stays legal: std::future is ThreadPool::submit's return
+      // type, so pool *consumers* hold futures without spawning anything.
+      const bool include =
+          contains(code, "#include") && contains(code, "<thread>");
+      if (use || include) {
+        add(kRawThread, Severity::kError, line_no, allowed,
+            "raw std::thread/std::jthread/std::async outside src/util",
+            "run the work on util::ThreadPool (or the async executor "
+            "built on it): ad-hoc threads skip the pool's ordering and "
+            "join guarantees and are invisible to -Wthread-safety");
+      }
+    }
+
     // D007 / D103: span name hygiene.
     if (!is_define) {
       for (const std::string_view macro :
@@ -679,6 +709,9 @@ std::vector<CheckInfo> check_catalog() {
       {kUncheckedIo, Severity::kError,
        "unchecked write/fsync/rename/close return on a durability path "
        "(util/fs, core/session_io)"},
+      {kRawThread, Severity::kError,
+       "std::thread/std::jthread/std::async (or #include <thread>) outside "
+       "src/util"},
       {kRandomHeader, Severity::kWarning,
        "#include <random> outside util::rng"},
       {kUnguardedMutexMember, Severity::kWarning,

@@ -52,6 +52,7 @@ inline constexpr std::string_view kRawMutex = "D006";
 inline constexpr std::string_view kNonLiteralSpanName = "D007";
 inline constexpr std::string_view kBareSuppression = "D008";
 inline constexpr std::string_view kUncheckedIo = "D009";
+inline constexpr std::string_view kRawThread = "D010";
 
 // ---- Warning codes (legal but suspicious) ----------------------------------
 inline constexpr std::string_view kRandomHeader = "D101";
