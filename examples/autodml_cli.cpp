@@ -52,12 +52,23 @@
 //                                  bit-identical with them on or off.
 //   importance --workload=W [--evals=N]
 //                                  tune briefly, print both sensitivity views
+//   serve      [--stdio | --socket=PATH] [--workers=N] [--conn-threads=N]
+//              [--max-sessions=N] [--max-pending=N]
+//                                  tuning-as-a-service daemon speaking the
+//                                  line-delimited JSON protocol (see the
+//                                  README "Tuning as a service" section).
+//                                  --stdio (default) answers one request
+//                                  line per stdin line; --socket serves a
+//                                  Unix-domain stream socket. Exits when a
+//                                  client sends {"op":"shutdown"}.
 //
 // Exit code 0 on success, 1 on user error, 2 on "no feasible config found".
 #include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <iostream>
 #include <memory>
+#include <string>
 
 #include "analysis/space_lint.h"
 #include "core/bo_tuner.h"
@@ -65,6 +76,8 @@
 #include "core/session_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/server.h"
+#include "service/session_manager.h"
 #include "util/arg_parse.h"
 #include "util/chaos.h"
 #include "util/csv.h"
@@ -483,6 +496,36 @@ int cmd_importance(const wl::Workload& workload, const util::ArgParser& args) {
   return 0;
 }
 
+int cmd_serve(const util::ArgParser& args) {
+  service::ServiceOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 4));
+  options.max_sessions =
+      static_cast<std::size_t>(args.get_int("max-sessions", 4096));
+  options.default_max_pending =
+      static_cast<int>(args.get_int("max-pending", 16));
+  service::SessionManager manager(options);
+  const std::string socket_path = args.get("socket", "");
+  if (!socket_path.empty()) {
+    service::ServerOptions server_options;
+    server_options.socket_path = socket_path;
+    server_options.connection_threads =
+        static_cast<std::size_t>(args.get_int("conn-threads", 8));
+    service::SocketServer server(manager, server_options);
+    server.serve();  // returns once a shutdown request is served
+    return 0;
+  }
+  // --stdio (the default): one request line in, one response line out.
+  // Scriptable from anything that can pipe LDJSON; also the transport the
+  // protocol conformance tests drive.
+  std::string line;
+  while (!manager.shutdown_requested() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::fputs((manager.handle_line(line) + "\n").c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -494,10 +537,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "lint") return cmd_lint(args);
+    // serve needs no workload: session spaces arrive over the wire.
+    if (command == "serve") return cmd_serve(args);
     if (command.empty()) {
       std::fprintf(stderr,
                    "usage: autodml_cli <workloads|lint|space|evaluate|tune|"
-                   "importance> [--flags]\n");
+                   "importance|serve> [--flags]\n");
       return 1;
     }
     // --demo pins the canonical demo session (the one the golden-run test

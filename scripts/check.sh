@@ -2,7 +2,9 @@
 # Tier-1 + sanitizer + static-analysis gate.
 #
 # Runs, in order:
-#   1. the plain tier-1 build and test suite (ROADMAP.md contract);
+#   1. the plain tier-1 build and test suite (ROADMAP.md contract),
+#      followed by an explicit `ctest -L service` pass over the
+#      tuning-as-a-service tests (DESIGN.md 6k);
 #   2. adml-lint (tools/lint) over src/ and tools/ — determinism and
 #      lock-discipline invariants, DESIGN.md 6g;
 #   3. the same suite under ASan+UBSan with AUTODML_CHECKED invariants on;
@@ -54,6 +56,11 @@ run_suite() {
 }
 
 run_suite build
+
+echo "==== service suite (ctest -L service)"
+# Already ran inside run_suite; the explicit pass keeps the service layer's
+# conformance/fuzz/stress/crash tests visible as their own gate.
+ctest --test-dir build -L service --output-on-failure -j "${JOBS}" | tail -n 3
 
 echo "==== adml-lint (determinism / lock-discipline linter)"
 ./build/tools/adml-lint src tools

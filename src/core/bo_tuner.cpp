@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "analysis/space_lint.h"
 #include "config/sampler.h"
@@ -219,6 +220,150 @@ struct BoTuner::Proposal {
   Trial replayed_trial;
 };
 
+/// Ask/tell session bookkeeping. The deque of outstanding proposals plays
+/// run_async's `pending` role; `told` buffers results that arrived before an
+/// earlier ticket, so ingestion stays strict-FIFO whatever order a client
+/// (or many client threads behind the service) reports in.
+struct BoTuner::SessionState {
+  bool started = false;
+  std::vector<conf::Config> design;
+  std::deque<Proposal> pending;
+  std::int64_t next_index = 0;
+  std::map<std::int64_t, Trial> told;  // buffered out-of-order tells
+  TuningResult result;
+};
+
+BoTuner::~BoTuner() = default;
+
+BoTuner::SessionState& BoTuner::ensure_session() {
+  if (tuned_) {
+    throw std::logic_error(
+        "BoTuner: ask/tell session cannot start after tune()");
+  }
+  if (!session_) session_ = std::make_unique<SessionState>();
+  if (!session_->started) {
+    // Same rng_ draw order as run_async: the design is generated before the
+    // first ask, so a session drive replays tune()'s exact stream.
+    session_->design = initial_configs();
+    session_->started = true;
+  }
+  return *session_;
+}
+
+bool BoTuner::session_can_propose() const {
+  const std::size_t trials =
+      session_ ? session_->result.trials.size() : 0;
+  const std::size_t pending = session_ ? session_->pending.size() : 0;
+  const double spent =
+      session_ ? session_->result.total_spent_seconds : 0.0;
+  return static_cast<int>(trials) + static_cast<int>(pending) <
+             options_.max_evaluations &&
+         spent < options_.max_spent_seconds;
+}
+
+void BoTuner::ingest_session_front(Trial trial, bool already_journaled) {
+  SessionState& s = *session_;
+  Proposal front = std::move(s.pending.front());
+  s.pending.pop_front();
+  // Keep the bit-exact regenerated proposal config: the caller's copy went
+  // through a JSON round trip (consume_replay applies the same rule).
+  trial.config = front.config;
+  trial.proposal_index = front.index;
+  if (!already_journaled) {
+    ADML_HISTOGRAM("tuner.trial_spent_hours", kSpentHoursBuckets,
+                   trial.outcome.spent_seconds / 3600.0);
+    if (trial.outcome.aborted) ADML_COUNT("tuner.early_terminated", 1);
+    if (journal_) {
+      ADML_SPAN("tuner.journal_append");
+      journal_->append(trial);
+    }
+  }
+  ADML_DEBUG << "session trial " << s.result.trials.size() << ": "
+             << trial.config.to_string() << " -> "
+             << (trial.succeeded() ? trial.outcome.objective : -1.0);
+  history_.push_back(trial);
+  record_trial(s.result, std::move(trial));
+}
+
+std::size_t BoTuner::drain_replay() {
+  SessionState& s = ensure_session();
+  std::size_t drained = 0;
+  while (replay_cursor_ < replay_.size() && session_can_propose() &&
+         s.told.empty() && s.pending.empty()) {
+    // Resume is a serial ask->ingest drive: regenerate proposal i, verify it
+    // against journal record i, fold it in. Bit-identical to the original
+    // run because consume_replay keeps the regenerated config and
+    // notify_replayed advances the objective's deterministic state.
+    Proposal p = ask(s.design, s.pending, s.next_index, s.result);
+    ++s.next_index;
+    Trial trial = consume_replay(p.config);
+    s.pending.push_back(std::move(p));
+    ingest_session_front(std::move(trial), /*already_journaled=*/true);
+    ++drained;
+  }
+  return drained;
+}
+
+std::optional<BoTuner::SessionAsk> BoTuner::ask_next() {
+  SessionState& s = ensure_session();
+  if (replay_cursor_ < replay_.size()) drain_replay();
+  if (!session_can_propose()) return std::nullopt;
+  Proposal p = ask(s.design, s.pending, s.next_index, s.result);
+  ++s.next_index;
+  SessionAsk out;
+  out.ticket = p.index;
+  out.config = p.config;
+  out.allow_early_term = p.allow_early_term && options_.early_term.enabled;
+  out.incumbent = p.incumbent;
+  s.pending.push_back(std::move(p));
+  ADML_GAUGE_MAX("tuner.session_pending_peak",
+                 static_cast<double>(s.pending.size()));
+  return out;
+}
+
+void BoTuner::tell_next(std::int64_t ticket, Trial trial) {
+  SessionState& s = ensure_session();
+  bool outstanding = false;
+  for (const Proposal& p : s.pending) {
+    if (p.index == ticket) {
+      outstanding = true;
+      break;
+    }
+  }
+  if (!outstanding || s.told.count(ticket) != 0) {
+    throw std::invalid_argument(
+        "BoTuner: tell_next ticket " + std::to_string(ticket) +
+        (s.told.count(ticket) != 0 || ticket < s.next_index
+             ? " was already reported"
+             : " was never asked"));
+  }
+  s.told.emplace(ticket, std::move(trial));
+  // Strict-FIFO ingestion: fold in the front ticket and everything buffered
+  // contiguously behind it. Journal bytes, surrogate inputs and rng state
+  // stay one canonical sequence whatever order reports arrive in.
+  while (!s.pending.empty()) {
+    auto it = s.told.find(s.pending.front().index);
+    if (it == s.told.end()) break;
+    Trial next = std::move(it->second);
+    s.told.erase(it);
+    ingest_session_front(std::move(next), /*already_journaled=*/false);
+  }
+}
+
+const TuningResult& BoTuner::session_result() const {
+  static const TuningResult kEmpty;
+  return session_ ? session_->result : kEmpty;
+}
+
+std::size_t BoTuner::session_pending() const {
+  return session_ ? session_->pending.size() : 0;
+}
+
+bool BoTuner::session_done() const {
+  return !session_can_propose() && session_pending() == 0 &&
+         (!session_ || session_->told.empty());
+}
+
 BoTuner::Proposal BoTuner::ask(const std::vector<conf::Config>& design,
                                std::deque<Proposal>& pending,
                                std::int64_t index,
@@ -371,6 +516,10 @@ void BoTuner::run_async(TuningResult& result,
 
 TuningResult BoTuner::tune() {
   ADML_SPAN("tuner.tune");
+  if (session_ && session_->started) {
+    throw std::logic_error("BoTuner: tune() after an ask/tell session began");
+  }
+  tuned_ = true;
   TuningResult result;
   util::Stopwatch wall;
   const auto wall_seconds = [&] {

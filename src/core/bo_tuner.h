@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/acquisition_optimizer.h"
@@ -88,6 +89,7 @@ struct BoOptions {
 class BoTuner {
  public:
   BoTuner(ObjectiveFunction& objective, BoOptions options);
+  ~BoTuner();
 
   /// Runs the full loop. Call once.
   TuningResult tune();
@@ -98,8 +100,70 @@ class BoTuner {
   /// Trials recovered from the journal instead of evaluated (after tune()).
   std::size_t replayed_trials() const { return replay_cursor_; }
 
+  // ---- ask/tell session mode (the service daemon's driving API) ----------
+  //
+  // Instead of tune() owning the loop, an external driver alternates
+  // ask_next() (get a proposal to evaluate elsewhere) and tell_next()
+  // (report the outcome). The op sequence fully determines the results:
+  // a serial ask->tell drive is bit-identical to tune() with
+  // async_workers == 1 (the forced-async depth-one pipeline), and a
+  // k-outstanding drive matches async_q == k with the same interleave.
+  // Results are ingested — journaled, folded into the surrogate, recorded —
+  // in strict ticket order regardless of tell arrival order, exactly like
+  // run_async's FIFO collection. tune() and session mode are mutually
+  // exclusive on one instance.
+
+  /// One proposal handed to an external evaluator. `incumbent` snapshots
+  /// the best objective at ask time so a remote early-termination policy
+  /// can race the run against it.
+  struct SessionAsk {
+    std::int64_t ticket = 0;
+    conf::Config config;
+    bool allow_early_term = false;
+    double incumbent = std::numeric_limits<double>::infinity();
+  };
+
+  /// Next proposal, conditioned on history plus kriging-believer fantasies
+  /// of every outstanding (asked, not yet told) ticket. Replays any pending
+  /// journal records first (see drain_replay). Returns nullopt when the
+  /// evaluation/spent budget cannot pay for another proposal.
+  std::optional<SessionAsk> ask_next();
+
+  /// Reports the outcome for an outstanding ticket. The trial's config is
+  /// replaced by the bit-exact proposal config (client copies go through a
+  /// JSON round trip); out-of-order tells are buffered and ingested once
+  /// every earlier ticket has reported. Throws std::invalid_argument for an
+  /// unknown or already-told ticket.
+  void tell_next(std::int64_t ticket, Trial trial);
+
+  /// Replays every journaled trial into the session (resume-by-replay),
+  /// returning how many were recovered. Called implicitly by ask_next();
+  /// explicit use lets a daemon restore state before serving traffic.
+  std::size_t drain_replay();
+
+  /// Live view of the session's result (incumbent, trials, curve).
+  const TuningResult& session_result() const;
+
+  /// Outstanding tickets: asked but not yet ingested.
+  std::size_t session_pending() const;
+
+  /// True once the budget is exhausted and every ticket has been told.
+  bool session_done() const;
+
  private:
-  struct Proposal;  // pending ask/tell bookkeeping (see bo_tuner.cpp)
+  struct Proposal;      // pending ask/tell bookkeeping (see bo_tuner.cpp)
+  struct SessionState;  // ask/tell session bookkeeping (see bo_tuner.cpp)
+
+  /// Lazily starts the session (initial design drawn on first use, matching
+  /// run_async's rng order); throws after tune().
+  SessionState& ensure_session();
+  /// Budget gate shared by ask_next/drain_replay; mirrors run_async's
+  /// can_propose (minus the wall deadline — a daemon has no tune() watchdog).
+  bool session_can_propose() const;
+  /// Pops the oldest outstanding proposal and ingests `trial` for it:
+  /// proposal-index stamp, metrics, journal append (live results only),
+  /// surrogate history, incumbent update.
+  void ingest_session_front(Trial trial, bool already_journaled);
 
   Trial evaluate(const conf::Config& config, bool allow_early_term,
                  double incumbent);
@@ -143,6 +207,8 @@ class BoTuner {
   std::size_t replay_cursor_ = 0;
   std::unique_ptr<TrialJournal> journal_;
   std::size_t fallback_index_ = 0;  // Halton cursor for degraded proposals
+  std::unique_ptr<SessionState> session_;  // non-null once session mode began
+  bool tuned_ = false;                     // tune() ran (or is running)
 };
 
 }  // namespace autodml::core

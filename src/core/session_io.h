@@ -82,6 +82,15 @@ struct LoadedJournal {
 /// mid-line (the durability contract is per whole record). Record *order*
 /// across threads is scheduling-dependent; replay tolerates any order
 /// because trials are keyed by content, not position.
+///
+/// Single-writer contract *across instances*: the mutex covers one
+/// TrialJournal object, not the path. Two live instances on the same
+/// path (two sessions, or two processes) would write whole records but
+/// from divergent proposal sequences, which replay rejects as a
+/// proposal-index gap or config mismatch instead of silently merging.
+/// The service layer enforces one live owner per path at admission
+/// (SessionManager's journal registry, typed error "journal-in-use");
+/// the CLI relies on one tuner per --journal invocation.
 class TrialJournal {
  public:
   /// Opens `path` for appending; writes the header line first when the

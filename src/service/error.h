@@ -1,0 +1,46 @@
+// Typed errors for the tuning service protocol.
+//
+// Every failure a client can cause — malformed frame, unknown session,
+// exhausted budget — is reported as a ServiceError carrying a stable
+// machine-readable code; the protocol layer turns it into an
+// {"ok": false, "error": <code>, "detail": <what>} response. Nothing a
+// client sends may crash the daemon or corrupt a session: handlers throw,
+// the dispatcher catches, the session's state is untouched (ops mutate
+// tuner state only after validation succeeds).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace autodml::service {
+
+/// Stable protocol error codes (the "error" field of a failure response).
+namespace errc {
+inline constexpr const char* kBadFrame = "bad-frame";
+inline constexpr const char* kBadRequest = "bad-request";
+inline constexpr const char* kUnknownOp = "unknown-op";
+inline constexpr const char* kUnknownSession = "unknown-session";
+inline constexpr const char* kSessionExists = "session-exists";
+inline constexpr const char* kSessionClosed = "session-closed";
+inline constexpr const char* kUnknownTicket = "unknown-ticket";
+inline constexpr const char* kBudgetExhausted = "budget-exhausted";
+inline constexpr const char* kTooManyPending = "too-many-pending";
+inline constexpr const char* kTooManySessions = "too-many-sessions";
+inline constexpr const char* kJournalInUse = "journal-in-use";
+inline constexpr const char* kInvalidSpace = "invalid-space";
+inline constexpr const char* kInvalidOutcome = "invalid-outcome";
+inline constexpr const char* kInternal = "internal";
+}  // namespace errc
+
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(std::string code, const std::string& detail)
+      : std::runtime_error(detail), code_(std::move(code)) {}
+
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+}  // namespace autodml::service

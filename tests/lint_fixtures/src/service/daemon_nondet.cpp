@@ -1,0 +1,25 @@
+// Fixture: determinism violations inside the service daemon. Never
+// compiled — scanned by lint_tool_test. src/service is a deterministic
+// path by contract (a session must replay to the same incumbent as a
+// standalone BoTuner), so wall clocks and unordered containers are banned
+// exactly as they are in src/core.
+#include <unordered_map>  // expect(D003)
+
+namespace fixture {
+
+double session_age_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())  // expect(D002)
+      .count();
+}
+
+int route(int session_id) {
+  std::unordered_map<int, int> shard_of;  // expect(D003)
+  return shard_of[session_id];
+}
+
+// Waits are not reads: a poll()/CondVar timeout may bound shutdown
+// latency without making results time-dependent, so no needle fires here.
+constexpr int kAcceptPollMs = 200;
+
+}  // namespace fixture

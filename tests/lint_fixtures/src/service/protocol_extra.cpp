@@ -1,0 +1,18 @@
+// Fixture: lossy float formatting in the wire-protocol serialization
+// layer. Never compiled — scanned by lint_tool_test. src/service/protocol
+// and src/service/space_json carry journal-grade round-trip guarantees
+// (a config suggested over the wire is byte-compared against the journal
+// on replay), so they classify as serialization files like
+// core/session_io: every float must be %.17g.
+#include <cstdio>
+
+namespace fixture {
+
+void emit(double objective) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%f", objective);    // expect(D005)
+  std::snprintf(buf, sizeof(buf), "%.6g", objective);  // expect(D005)
+  std::snprintf(buf, sizeof(buf), "%.17g", objective);  // round-trip: clean
+}
+
+}  // namespace fixture

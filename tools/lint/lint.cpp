@@ -219,10 +219,13 @@ PathInfo classify(std::string_view path) {
   info.is_util_rng = starts_with(rel, "src/util/rng.");
   info.is_obs = starts_with(rel, "src/obs/");
 
-  static constexpr std::array<std::string_view, 9> kDeterministicDirs = {
+  // src/service is deterministic by contract: a session must replay to the
+  // same incumbent as a standalone BoTuner, so the daemon may not consult
+  // wall clocks (poll timeouts are waits, not reads) or unordered maps.
+  static constexpr std::array<std::string_view, 10> kDeterministicDirs = {
       "src/core/",   "src/gp/",  "src/config/",    "src/math/",
       "src/ml/",     "src/sim/", "src/workloads/", "src/baselines/",
-      "src/analysis/"};
+      "src/analysis/", "src/service/"};
   for (const auto dir : kDeterministicDirs) {
     if (starts_with(rel, dir)) info.deterministic = true;
   }
@@ -230,9 +233,10 @@ PathInfo classify(std::string_view path) {
   // snapshots) must be byte-stable, so iteration order matters there too.
   info.ordered = info.deterministic || info.is_obs;
 
-  static constexpr std::array<std::string_view, 5> kSerializationFiles = {
-      "src/core/session_io", "src/util/json", "src/util/csv",
-      "src/obs/metrics", "src/obs/trace"};
+  static constexpr std::array<std::string_view, 7> kSerializationFiles = {
+      "src/core/session_io",  "src/util/json",       "src/util/csv",
+      "src/obs/metrics",      "src/obs/trace",       "src/service/protocol",
+      "src/service/space_json"};
   for (const auto file : kSerializationFiles) {
     if (starts_with(rel, file)) info.serialization = true;
   }
